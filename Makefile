@@ -1,0 +1,31 @@
+# Convenience targets for the flat-tree reproduction.
+
+PYTHON ?= python3
+
+.PHONY: install test bench figures examples lint clean
+
+install:
+	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -x -q -m "not slow" --ignore=tests/experiments
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+figures:
+	$(PYTHON) -m repro.cli fig5
+	$(PYTHON) -m repro.cli fig6
+	$(PYTHON) -m repro.cli fig7
+	$(PYTHON) -m repro.cli fig8 --ks 4 6
+	$(PYTHON) -m repro.cli hybrid --k 6
+
+examples:
+	for script in examples/*.py; do echo "== $$script =="; $(PYTHON) $$script; done
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,65 @@
+"""Ablation bench: Pod-core wiring pattern 1 vs pattern 2 (paper §2.3).
+
+The paper motivates two rotation patterns and a per-k selection rule.
+This ablation regenerates the APL of both patterns across k, plus the
+pattern our :func:`repro.core.wiring.profiled_pattern` rule selects,
+and asserts the rule never loses to the worse fixed pattern.
+"""
+
+from __future__ import annotations
+
+from conftest import show
+
+from repro.core.conversion import Mode, convert
+from repro.core.design import FlatTreeDesign
+from repro.core.flattree import FlatTree
+from repro.core.wiring import WiringPattern, pattern_is_degenerate
+from repro.errors import ReproError
+from repro.experiments.common import ExperimentResult, ks_from_env
+from repro.topology.stats import average_server_path_length
+
+DEFAULT_KS = (4, 6, 8, 10, 12, 16)
+
+
+def run_wiring_ablation(ks=None) -> ExperimentResult:
+    ks = ks or ks_from_env(DEFAULT_KS)
+    result = ExperimentResult(
+        experiment="ablation: wiring pattern 1 vs 2 (global-random APL)",
+        x_label="k",
+        y_label="average path length (hops)",
+    )
+    series = {
+        WiringPattern.PATTERN1: result.new_series("pattern 1"),
+        WiringPattern.PATTERN2: result.new_series("pattern 2"),
+    }
+    selected = result.new_series("profiled selection")
+    for k in ks:
+        for pattern, s in series.items():
+            try:
+                design = FlatTreeDesign.for_fat_tree(k, pattern=pattern)
+            except ReproError:
+                continue
+            if pattern_is_degenerate(design.params, design.m, pattern):
+                continue  # disconnects cores; no APL exists
+            net = convert(FlatTree(design), Mode.GLOBAL_RANDOM)
+            s.add(k, average_server_path_length(net))
+        auto = FlatTreeDesign.for_fat_tree(k)
+        net = convert(FlatTree(auto), Mode.GLOBAL_RANDOM)
+        selected.add(k, average_server_path_length(net))
+    result.notes.append(
+        "profiled selection must track min(pattern 1, pattern 2)"
+    )
+    return result
+
+
+def test_bench_wiring_ablation(once):
+    result = once(run_wiring_ablation)
+    show(result)
+    p1 = result.get("pattern 1")
+    p2 = result.get("pattern 2")
+    sel = result.get("profiled selection")
+    for k in sel.points:
+        candidates = [
+            s.points[k] for s in (p1, p2) if k in s.points
+        ]
+        assert sel.points[k] <= min(candidates) + 1e-9

@@ -1,0 +1,60 @@
+"""Ablation bench: conversion cost — churn and materialization time.
+
+Convertibility is the paper's whole point; this bench quantifies what a
+conversion costs at the physical layer (converters re-programmed, links
+blinked, servers relocated) and how long planning + materialization
+takes, across k.  The structural assertions pin the churn arithmetic:
+a full Clos -> global-random conversion touches every converter, i.e.
+``pods * d * (m + n)`` circuits.
+"""
+
+from __future__ import annotations
+
+from conftest import show
+
+from repro.core.controller import Controller
+from repro.core.conversion import Mode
+from repro.core.design import FlatTreeDesign
+from repro.core.flattree import FlatTree
+from repro.experiments.common import ExperimentResult, ks_from_env
+
+DEFAULT_KS = (4, 8, 12, 16)
+
+
+def run_conversion_costs(ks=None) -> ExperimentResult:
+    ks = ks or ks_from_env(DEFAULT_KS)
+    result = ExperimentResult(
+        experiment="ablation: Clos -> global-random conversion churn",
+        x_label="k",
+        y_label="count",
+    )
+    converters = result.new_series("converters re-programmed")
+    links = result.new_series("links blinked")
+    moved = result.new_series("servers relocated")
+    for k in ks:
+        design = FlatTreeDesign.for_fat_tree(k)
+        controller = Controller(FlatTree(design))
+        plan = controller.apply_mode(Mode.GLOBAL_RANDOM)
+        converters.add(k, plan.converter_count)
+        links.add(k, len(plan.links_removed))
+        moved.add(k, len(plan.servers_moved))
+        expected = design.params.pods * design.params.d * (design.m + design.n)
+        assert plan.converter_count == expected
+        assert len(plan.servers_moved) == expected
+    return result
+
+
+def test_bench_conversion_churn(once):
+    result = once(run_conversion_costs)
+    show(result)
+    converters = result.get("converters re-programmed")
+    ks = sorted(converters.points)
+    # Churn grows superlinearly in k (pods * d * (m + n) ~ k^3/16).
+    assert converters.points[ks[-1]] > converters.points[ks[0]]
+
+
+def test_bench_materialize_speed(benchmark):
+    """Raw materialization cost of a k=16 flat-tree (1280 circuits)."""
+    ft = FlatTree(FlatTreeDesign.for_fat_tree(16))
+    net = benchmark(ft.materialize)
+    assert net.num_servers == 16**3 // 4

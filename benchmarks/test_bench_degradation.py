@@ -1,0 +1,31 @@
+"""Extension bench: throughput degradation under random link failures.
+
+Motivates §5's self-recovery: the converted flat-tree keeps more of its
+capacity per failed link than the Clos hierarchy, whose hot-spot
+capacity rides on few uplinks.
+"""
+
+from __future__ import annotations
+
+import os
+
+from conftest import show
+
+from repro.experiments.degradation import run_degradation
+
+BENCH_K = int(os.environ.get("REPRO_DEGRADATION_K", "8"))
+FRACTIONS = (0.0, 0.05, 0.1, 0.2)
+
+
+def test_bench_degradation(once):
+    result = once(run_degradation, k=BENCH_K, fractions=FRACTIONS, draws=3)
+    show(result)
+    flat = result.get("flat-tree")
+    fat = result.get("fat-tree")
+    for series in result.series:
+        # Repeated LP solves agree only to solver tolerance.
+        assert abs(series.points[0.0] - 1.0) < 1e-6
+        # Monotone non-increasing in expectation; allow draw noise.
+        assert series.points[0.2] <= series.points[0.0] + 1e-6
+    # The headline: flat-tree degrades no worse than fat-tree.
+    assert flat.points[0.2] >= fat.points[0.2] - 0.05

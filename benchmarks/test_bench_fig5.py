@@ -1,0 +1,24 @@
+"""Bench: Figure 5 — average path length over the entire network.
+
+Regenerates the paper's Figure 5 series (fat-tree, random graph, and the
+five flat-tree (m, n) settings) and asserts the headline shape: the
+profiled flat-tree sits below fat-tree and within ~10% of the random
+graph.
+"""
+
+from __future__ import annotations
+
+from conftest import show
+
+from repro.experiments.fig5_pathlength import run_fig5
+
+
+def test_bench_fig5(once):
+    result = once(run_fig5)
+    show(result)
+    flat = result.get("flat-tree(m=1k/8,n=2k/8)")
+    fat = result.get("fat-tree")
+    rnd = result.get("random graph")
+    for k in flat.points:
+        assert flat.points[k] < fat.points[k]
+        assert flat.points[k] <= rnd.points[k] * 1.10

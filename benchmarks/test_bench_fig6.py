@@ -1,0 +1,24 @@
+"""Bench: Figure 6 — average path length within Pods.
+
+Shape: flat-tree (local-random mode) and two-stage sit well below
+fat-tree, random graph is worst.
+"""
+
+from __future__ import annotations
+
+from conftest import show
+
+from repro.experiments.fig6_pod_pathlength import run_fig6
+
+
+def test_bench_fig6(once):
+    result = once(run_fig6)
+    show(result)
+    flat = result.get("flat-tree")
+    fat = result.get("fat-tree")
+    rnd = result.get("random graph")
+    two = result.get("two-stage random graph")
+    for k in flat.points:
+        assert flat.points[k] <= two.points[k] * 1.05
+        assert flat.points[k] < rnd.points[k]
+        assert fat.points[k] < rnd.points[k]

@@ -1,0 +1,22 @@
+"""Bench: Figure 7 — broadcast/incast throughput in 1000-member clusters.
+
+Shape: flat-tree ~ random graph, both well above fat-tree; throughput
+grows with k; locality matters little.
+"""
+
+from __future__ import annotations
+
+from conftest import show
+
+from repro.experiments.fig7_broadcast import run_fig7
+
+
+def test_bench_fig7(once):
+    result = once(run_fig7)
+    show(result)
+    flat = result.get("flat-tree locality")
+    fat = result.get("fat-tree locality")
+    ks = sorted(flat.points)
+    top = ks[-1]
+    assert flat.points[top] >= 1.2 * fat.points[top]
+    assert fat.points[ks[0]] <= fat.points[top]

@@ -1,0 +1,70 @@
+"""Extension bench: flow-level FCT across operating modes.
+
+The LP benches measure capacity under optimal routing; this bench runs
+the fluid flow-level simulator (KSP routing, max-min fairness) on the
+same cluster workload in each operating mode and reports mean flow
+completion time.  The LP trend should survive routing realism: the
+random-graph modes finish the broadcast-heavy workload faster than Clos.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import show
+
+from repro.core.controller import Controller
+from repro.core.conversion import Mode
+from repro.core.design import FlatTreeDesign
+from repro.core.flattree import FlatTree
+from repro.experiments.common import ExperimentResult
+from repro.flowsim.simulator import FlowSimulator, FlowSpec
+
+BENCH_K = 8
+FLOWS = 120
+
+
+def cluster_flows(params, rng) -> list:
+    """Unit-size flows from one hotspot plus background pairs."""
+    servers = list(range(params.num_servers))
+    hotspot = rng.choice(servers)
+    specs = []
+    fid = 0
+    for dst in rng.sample([s for s in servers if s != hotspot], FLOWS // 2):
+        specs.append(FlowSpec(fid, hotspot, dst, size=1.0))
+        fid += 1
+    while fid < FLOWS:
+        a, b = rng.sample(servers, 2)
+        specs.append(FlowSpec(fid, a, b, size=1.0))
+        fid += 1
+    return specs
+
+
+def simulate_mode(mode: Mode) -> float:
+    design = FlatTreeDesign.for_fat_tree(BENCH_K)
+    controller = Controller(FlatTree(design))
+    controller.apply_mode(mode)
+    flows = cluster_flows(design.params, random.Random(7))
+    simulator = FlowSimulator(controller.network, controller.route)
+    return simulator.run(flows).mean_fct
+
+
+def run_fct_comparison() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="extension: mean FCT by operating mode (fluid sim)",
+        x_label="k",
+        y_label="mean flow completion time",
+    )
+    for mode in (Mode.CLOS, Mode.GLOBAL_RANDOM, Mode.LOCAL_RANDOM):
+        result.new_series(mode.value).add(BENCH_K, simulate_mode(mode))
+    return result
+
+
+def test_bench_fct_by_mode(once):
+    result = once(run_fct_comparison)
+    show(result)
+    clos = result.get("clos").points[BENCH_K]
+    global_random = result.get("global-random").points[BENCH_K]
+    # Hotspot-heavy traffic: the converted network's extra hotspot
+    # capacity must show up as faster completions.
+    assert global_random <= clos * 1.05

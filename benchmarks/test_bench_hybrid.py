@@ -1,0 +1,37 @@
+"""Bench: §3.4 — hybrid flat-tree zone isolation.
+
+Regenerates the proportion sweep: a global-random zone (broadcast
+workload) and a local-random zone (all-to-all workload) share the core.
+The paper's claim: each zone performs as the corresponding complete
+network and the zones do not interfere — verified here as
+``combined == min(global zone, local zone)`` at every proportion.
+
+The paper runs k = 30; the claim is about isolation, not scale, so the
+default here is k = 6 (seconds) — ``REPRO_HYBRID_K=8`` upscales.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from conftest import show
+
+from repro.experiments.hybrid import run_hybrid
+
+DEFAULT_FRACTIONS = (0.25, 0.5, 0.75)
+
+
+def bench_k() -> int:
+    return int(os.environ.get("REPRO_HYBRID_K", "6"))
+
+
+def test_bench_hybrid(once):
+    result = once(run_hybrid, k=bench_k(), fractions=DEFAULT_FRACTIONS)
+    show(result)
+    combined = result.get("combined")
+    g = result.get("global zone")
+    l = result.get("local zone")
+    for fraction in combined.points:
+        floor = min(g.points[fraction], l.points[fraction])
+        assert combined.points[fraction] == pytest.approx(floor, rel=0.02)

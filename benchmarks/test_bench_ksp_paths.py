@@ -1,0 +1,85 @@
+"""Ablation bench: how many shortest paths does flat-tree routing need?
+
+Jellyfish (the paper's routing citation for random-graph modes) found
+that 8 shortest paths capture most of a random graph's capacity when
+connections can *split* across them (MPTCP-style subflows).  This
+ablation repeats that measurement on the converted flat-tree: each
+permutation pair opens one subflow on each of its j shortest paths for
+j = 1, 2, 4, 8, and the max-min fair total throughput is compared
+against the optimal-routing LP value.
+
+Expected shape: a steep gain from 1 path to a few, then saturation
+toward (but below) the LP bound — justifying the controller's KSP-8
+default.  (With single-path hash routing the trend *reverses* — longer
+alternates waste capacity — which is exactly why the routing layer
+keeps whole path sets per pair rather than pinning one.)
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import show
+
+from repro.core.conversion import Mode, convert
+from repro.core.design import FlatTreeDesign
+from repro.core.flattree import FlatTree
+from repro.experiments.common import ExperimentResult, throughput_of
+from repro.flowsim.fairshare import RoutedFlow, max_min_fair_rates
+from repro.routing.ksp import k_shortest_paths
+from repro.traffic.patterns import permutation_commodities
+
+BENCH_K = 8
+PATH_COUNTS = (1, 2, 4, 8)
+
+
+def run_ksp_ablation() -> ExperimentResult:
+    design = FlatTreeDesign.for_fat_tree(BENCH_K)
+    net = convert(FlatTree(design), Mode.GLOBAL_RANDOM)
+    rng = random.Random(3)
+    workload = permutation_commodities(
+        list(range(design.params.num_servers)), rng
+    )
+
+    result = ExperimentResult(
+        experiment="ablation: KSP path count vs permutation throughput",
+        x_label="paths per pair",
+        y_label="total max-min throughput",
+    )
+    routed = result.new_series("ksp routing")
+    optimal = result.new_series("LP optimal routing (x pairs)")
+    lp_lambda = throughput_of(net, workload)
+    pairs = _switch_pairs(net, workload)
+
+    for count in PATH_COUNTS:
+        flows = []
+        fid = 0
+        for src_sw, dst_sw in pairs:
+            for path in k_shortest_paths(net, src_sw, dst_sw, k=count):
+                flows.append(RoutedFlow(fid, path))
+                fid += 1
+        total = max_min_fair_rates(net, flows).total
+        routed.add(count, total)
+        optimal.add(count, lp_lambda * len(pairs))
+    return result
+
+
+def _switch_pairs(net, workload):
+    pairs = []
+    for commodity in workload:
+        src_sw = net.server_switch(commodity.src)
+        dst_sw = net.server_switch(commodity.dst)
+        if src_sw != dst_sw:
+            pairs.append((src_sw, dst_sw))
+    return pairs
+
+
+def test_bench_ksp_path_count(once):
+    result = once(run_ksp_ablation)
+    show(result)
+    routed = result.get("ksp routing")
+    optimal = result.get("LP optimal routing (x pairs)")
+    # With subflow splitting, more paths monotonically add capacity.
+    assert routed.points[8] >= routed.points[4] >= routed.points[1]
+    # KSP-8 subflows reach a solid fraction of optimal routing.
+    assert routed.points[8] >= 0.5 * optimal.points[8]

@@ -1,0 +1,74 @@
+"""Extension bench: two-stage flat-tree (the §2.1 multi-stage sketch).
+
+Compares the composed two-layer network's average path length and
+hot-spot throughput across layer-mode combinations.  Measured shape:
+both layers defaulted reproduces the single-layer fat-tree numbers
+exactly; converting the *lower* layer is what pays (servers move up and
+outward); converting **only the upper** layer actually lengthens paths
+— the lower aggregation uplinks get re-attached deeper in the upper
+hierarchy while no traffic is positioned to exploit it.  That
+asymmetry is the composition's own lesson: convert bottom-up.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import show
+
+from repro.core.conversion import Mode
+from repro.core.multistage import build_two_stage_flat_tree
+from repro.experiments.common import ExperimentResult, throughput_of
+from repro.mcf.commodities import Commodity
+from repro.topology.stats import average_server_path_length
+
+K_LOWER = 8
+UPPER_PODS = 4
+MODE_PAIRS = (
+    ("clos/clos", Mode.CLOS, Mode.CLOS),
+    ("global/clos", Mode.GLOBAL_RANDOM, Mode.CLOS),
+    ("clos/global", Mode.CLOS, Mode.GLOBAL_RANDOM),
+    ("global/global", Mode.GLOBAL_RANDOM, Mode.GLOBAL_RANDOM),
+)
+
+
+def hotspot_workload(num_servers: int, rng: random.Random):
+    hotspot = rng.randrange(num_servers)
+    return [
+        Commodity(hotspot, s) for s in range(num_servers) if s != hotspot
+    ]
+
+
+def run_multistage() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment=(
+            f"extension: two-stage flat-tree, lower k={K_LOWER}, "
+            f"{UPPER_PODS} upper Pods"
+        ),
+        x_label="metric (0=APL hops, 1=hotspot lambda)",
+        y_label="value",
+    )
+    rng = random.Random(5)
+    workload = None
+    for label, lower, upper in MODE_PAIRS:
+        net = build_two_stage_flat_tree(K_LOWER, UPPER_PODS, lower, upper)
+        if workload is None:
+            workload = hotspot_workload(net.num_servers, rng)
+        series = result.new_series(label)
+        series.add(0, average_server_path_length(net))
+        series.add(1, throughput_of(net, workload))
+    return result
+
+
+def test_bench_multistage(once):
+    result = once(run_multistage)
+    show(result)
+    base = result.get("clos/clos")
+    full = result.get("global/global")
+    # Converting both layers shortens paths and raises hot-spot capacity.
+    assert full.points[0] < base.points[0]
+    assert full.points[1] >= base.points[1]
+    # Lower-layer conversion alone already helps the APL...
+    assert result.get("global/clos").points[0] < base.points[0]
+    # ... while upper-only conversion hurts it (see module docstring).
+    assert result.get("clos/global").points[0] > base.points[0]

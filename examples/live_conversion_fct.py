@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Flow-level view: what conversion buys running applications.
+
+The paper evaluates capacity with an optimal-routing LP; applications
+experience *flow completion time* under real (k-shortest-paths / ECMP)
+routing.  This example runs the fluid flow-level simulator on the same
+hot-spot-heavy workload in Clos mode and in global-random mode and
+compares mean/p99 FCT — the LP's capacity advantage should survive
+routing realism.
+
+Run:  python examples/live_conversion_fct.py
+"""
+
+import random
+
+from repro import Controller, FlatTree, FlatTreeDesign, Mode
+from repro.flowsim import FlowSimulator, FlowSpec
+
+K = 8
+HOTSPOT_FLOWS = 60
+BACKGROUND_FLOWS = 60
+SEED = 11
+
+
+def build_workload(params, rng) -> list:
+    """A hot-spot broadcast plus random background pairs, unit sizes."""
+    servers = list(range(params.num_servers))
+    hotspot = rng.choice(servers)
+    flows = []
+    fid = 0
+    others = [s for s in servers if s != hotspot]
+    for dst in rng.sample(others, HOTSPOT_FLOWS):
+        flows.append(FlowSpec(fid, hotspot, dst, size=1.0))
+        fid += 1
+    for _ in range(BACKGROUND_FLOWS):
+        a, b = rng.sample(servers, 2)
+        flows.append(FlowSpec(fid, a, b, size=1.0))
+        fid += 1
+    return flows
+
+
+def simulate(controller: Controller, mode: Mode, flows) -> None:
+    plan = controller.apply_mode(mode)
+    if not plan.is_noop():
+        print(f"\nconvert to {mode.value}: {plan.summary()}")
+    simulator = FlowSimulator(controller.network, controller.route)
+    result = simulator.run(list(flows))
+    print(f"{mode.value:>14}:  mean FCT {result.mean_fct:7.3f}   "
+          f"p99 FCT {result.p99_fct:7.3f}   makespan {result.makespan:7.3f}")
+
+
+def main() -> None:
+    design = FlatTreeDesign.for_fat_tree(K)
+    controller = Controller(FlatTree(design))
+    flows = build_workload(design.params, random.Random(SEED))
+    print(f"workload: {HOTSPOT_FLOWS} hot-spot flows + "
+          f"{BACKGROUND_FLOWS} background flows, unit size each")
+
+    simulate(controller, Mode.CLOS, flows)
+    simulate(controller, Mode.GLOBAL_RANDOM, flows)
+    simulate(controller, Mode.LOCAL_RANDOM, flows)
+
+    print("\nthe global-random conversion spreads the hot spot's servers "
+          "over edge, aggregation and core switches, so the same flows "
+          "drain faster than on the Clos hierarchy")
+
+
+if __name__ == "__main__":
+    main()

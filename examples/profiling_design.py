@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Design-time profiling: choose (m, n) for a given Clos plant (§2.4).
+
+Flat-tree converts *generic* Clos networks, so the right number of
+6-port (m) and 4-port (n) converter switches per edge/aggregation pair
+depends on the layout.  The paper's §2.4 answer is empirical: sweep the
+(m, n) grid, build the approximated global random graph for each
+candidate, and keep the design with the shortest average path length.
+
+This example profiles two different plants — the paper's fat-tree(12)
+and a 2:1 oversubscribed Clos — and shows where the resulting design
+lands relative to the fat-tree and same-equipment random-graph
+baselines.
+
+Run:  python examples/profiling_design.py
+"""
+
+import random
+
+from repro import FlatTree, Mode, convert, fat_tree_params, profile_mn
+from repro.core.design import FlatTreeDesign
+from repro.topology import (
+    ClosParams,
+    JellyfishSpec,
+    average_server_path_length,
+    build_clos,
+    build_jellyfish,
+)
+
+
+def profile_and_report(params: ClosParams, label: str, grid=None) -> None:
+    print(f"=== profiling {label} ===")
+    result = profile_mn(params, candidates=grid)
+    print(f"{'m':>3} {'n':>3} {'pattern':>9} {'APL':>8}")
+    for row in result.as_rows():
+        marker = "  <-- chosen" if row["best"] else ""
+        print(f"{row['m']:>3} {row['n']:>3} {row['pattern']:>9} "
+              f"{row['apl']:>8.4f}{marker}")
+
+    best = result.best
+    design = FlatTreeDesign(
+        params=params, m=best.m, n=best.n, pattern=best.pattern
+    )
+    flat = convert(FlatTree(design), Mode.GLOBAL_RANDOM)
+    clos = build_clos(params)
+    jelly = build_jellyfish(
+        JellyfishSpec.matching(params), random.Random(0)
+    )
+    flat_apl = average_server_path_length(flat)
+    clos_apl = average_server_path_length(clos)
+    jelly_apl = average_server_path_length(jelly)
+    print(f"\n  Clos baseline       {clos_apl:.4f} hops")
+    print(f"  profiled flat-tree  {flat_apl:.4f} hops "
+          f"({100 * (clos_apl - flat_apl) / clos_apl:.1f}% below Clos)")
+    print(f"  random graph        {jelly_apl:.4f} hops "
+          f"(flat-tree within "
+          f"{100 * (flat_apl - jelly_apl) / jelly_apl:.1f}%)\n")
+
+
+def main() -> None:
+    # The paper's evaluation plant: fat-tree(12).
+    profile_and_report(fat_tree_params(12), "fat-tree(12)")
+
+    # A generic plant the paper targets but never profiles: 6 Pods,
+    # 2:1 edge oversubscription (r = 2), 4 servers per edge switch.
+    oversubscribed = ClosParams(pods=6, d=4, r=2, h=4, servers_per_edge=4)
+    grid = [(m, n) for m in (1, 2) for n in (1, 2)]
+    profile_and_report(oversubscribed, "oversubscribed Clos (r=2)", grid)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: build a flat-tree, convert it, inspect what changed.
+
+This walks the library's core loop in under a minute:
+
+1. pick the paper's design point for a fat-tree(k=8) plant;
+2. materialize all three homogeneous operating modes;
+3. verify every mode uses identical equipment (the paper's premise);
+4. compare the structural metrics the paper reports (Figures 5/6).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import FlatTree, FlatTreeDesign, Mode, convert
+from repro.topology import (
+    assert_same_equipment,
+    average_server_path_length,
+    average_within_group_path_length,
+    build_fat_tree,
+    server_counts_by_kind,
+)
+
+K = 8
+
+
+def main() -> None:
+    # A design point fixes the physical plant: the Clos equipment being
+    # converted, m/n converter counts, wiring pattern, side-bundle ring.
+    design = FlatTreeDesign.for_fat_tree(K)
+    print(f"flat-tree design for fat-tree(k={K}):")
+    print(f"  m={design.m} 6-port and n={design.n} 4-port converters per "
+          f"edge/aggregation pair, wiring {design.pattern.name}")
+
+    flattree = FlatTree(design)
+    print(f"  plant: {len(flattree.converters)} converter switches, "
+          f"{len(flattree.pairs)} side bundles\n")
+
+    # Convert through the paper's three homogeneous modes.
+    fat_tree = build_fat_tree(K)
+    networks = {}
+    for mode in (Mode.CLOS, Mode.GLOBAL_RANDOM, Mode.LOCAL_RANDOM):
+        net = convert(flattree, mode)
+        assert_same_equipment(net, fat_tree)  # the paper's premise
+        networks[mode] = net
+        print(f"{net.name}")
+        print(f"  servers by switch layer: {server_counts_by_kind(net)}")
+
+    # Clos mode is *exactly* the fat-tree, cable for cable.
+    clos = networks[Mode.CLOS]
+    assert set(clos.fabric.edges()) == set(fat_tree.fabric.edges())
+    print("\nClos mode is cable-for-cable identical to fat-tree(8)")
+
+    # The paper's Figure 5 metric: average path length over server pairs.
+    print("\naverage server-pair path length (hops), Figure 5 metric:")
+    print(f"  fat-tree          {average_server_path_length(fat_tree):.3f}")
+    print(f"  flat-tree global  "
+          f"{average_server_path_length(networks[Mode.GLOBAL_RANDOM]):.3f}")
+
+    # And Figure 6: the same metric restricted to same-Pod pairs.
+    groups = flattree.pod_server_groups()
+    print("\nin-Pod average path length (hops), Figure 6 metric:")
+    print(f"  fat-tree          "
+          f"{average_within_group_path_length(fat_tree, groups):.3f}")
+    print(f"  flat-tree local   "
+          f"{average_within_group_path_length(networks[Mode.LOCAL_RANDOM], groups):.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setuptools shim: enables `python setup.py develop` in offline
+environments that lack the `wheel` package (PEP-517 editable installs
+require it). All metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,17 @@
+"""Analysis helpers: cut metrics and topology comparison reports."""
+
+from repro.analysis.cuts import (
+    flow_between_sets,
+    random_bisection_bandwidth,
+    sparsest_pair_cut,
+)
+from repro.analysis.report import TopologySummary, compare_networks, summarize
+
+__all__ = [
+    "TopologySummary",
+    "compare_networks",
+    "flow_between_sets",
+    "random_bisection_bandwidth",
+    "sparsest_pair_cut",
+    "summarize",
+]

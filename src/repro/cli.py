@@ -1,0 +1,330 @@
+"""Command-line interface: regenerate paper experiments from a shell.
+
+Examples::
+
+    flattree fig5 --ks 4 8 12
+    flattree fig7 --ks 4 6 8 --solver exact
+    flattree hybrid --k 8 --fractions 0.25 0.5 0.75
+    flattree profile --k 16
+    flattree convert --k 8 --mode global-random
+    flattree compare --k 8                 # side-by-side topology report
+    flattree cost --ks 8 16 24             # section 2.7 bill of materials
+    flattree schedule --k 8 --technology mems
+    flattree export --k 8 --mode global-random --format dot
+    flattree downscale --k 8 --floor 0.5
+
+Every subcommand prints an aligned text table (the library's equivalent
+of the paper's figures) to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.controller import Controller
+from repro.core.conversion import Mode
+from repro.core.design import FlatTreeDesign
+from repro.core.flattree import FlatTree
+from repro.core.profiling import profile_mn
+from repro.experiments.fig5_pathlength import run_fig5
+from repro.experiments.fig6_pod_pathlength import run_fig6
+from repro.experiments.fig7_broadcast import run_fig7
+from repro.experiments.fig8_alltoall import run_fig8
+from repro.experiments.hybrid import DEFAULT_FRACTIONS, run_hybrid
+from repro.topology.clos import fat_tree_params
+from repro.topology.stats import server_counts_by_kind
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point (console script ``flattree``)."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if not hasattr(args, "handler"):
+        parser.print_help()
+        return 2
+    return args.handler(args)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="flattree",
+        description="Flat-tree (HotNets 2016) reproduction experiments",
+    )
+    sub = parser.add_subparsers(title="experiments")
+
+    for name, runner, note in (
+        ("fig5", run_fig5, "average path length, entire network"),
+        ("fig6", run_fig6, "average path length within Pods"),
+        ("fig7", run_fig7, "broadcast/incast throughput"),
+        ("fig8", run_fig8, "all-to-all throughput"),
+    ):
+        p = sub.add_parser(name, help=note)
+        p.add_argument("--ks", type=int, nargs="+", default=None,
+                       help="fat-tree parameters to sweep")
+        p.add_argument("--seed", type=int, default=0)
+        if name in ("fig7", "fig8"):
+            p.add_argument("--solver", choices=("exact", "approx"),
+                           default=None)
+        p.set_defaults(handler=_figure_handler(runner, name))
+
+    p = sub.add_parser("hybrid", help="section 3.4 zone-isolation study")
+    p.add_argument("--k", type=int, default=None)
+    p.add_argument("--fractions", type=float, nargs="+",
+                   default=list(DEFAULT_FRACTIONS))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--solver", choices=("exact", "approx"), default=None)
+    p.set_defaults(handler=_hybrid_handler)
+
+    p = sub.add_parser("profile", help="(m, n) profiling sweep (section 2.4)")
+    p.add_argument("--k", type=int, required=True)
+    p.set_defaults(handler=_profile_handler)
+
+    p = sub.add_parser("convert", help="convert a flat-tree and summarize")
+    p.add_argument("--k", type=int, required=True)
+    p.add_argument("--mode", choices=[m.value for m in Mode],
+                   default=Mode.GLOBAL_RANDOM.value)
+    p.set_defaults(handler=_convert_handler)
+
+    p = sub.add_parser("compare",
+                       help="side-by-side report of all topologies at one k")
+    p.add_argument("--k", type=int, required=True)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(handler=_compare_handler)
+
+    p = sub.add_parser("cost", help="section 2.7 bill of materials")
+    p.add_argument("--ks", type=int, nargs="+", default=[8, 16, 24])
+    p.set_defaults(handler=_cost_handler)
+
+    p = sub.add_parser("schedule",
+                       help="conversion timing per switching technology")
+    p.add_argument("--k", type=int, required=True)
+    p.add_argument("--mode", choices=[m.value for m in Mode],
+                   default=Mode.GLOBAL_RANDOM.value)
+    p.add_argument("--technology", choices=("mems", "mzi", "packet"),
+                   default="mems")
+    p.add_argument("--max-batch", type=int, default=64)
+    p.set_defaults(handler=_schedule_handler)
+
+    p = sub.add_parser("export", help="dump a topology (dot/json/edges)")
+    p.add_argument("--k", type=int, required=True)
+    p.add_argument("--mode", choices=[m.value for m in Mode],
+                   default=Mode.CLOS.value)
+    p.add_argument("--format", choices=("dot", "json", "edges"),
+                   default="dot")
+    p.add_argument("--servers", action="store_true",
+                   help="include servers in DOT output")
+    p.set_defaults(handler=_export_handler)
+
+    p = sub.add_parser("degradation",
+                       help="throughput under random link failures")
+    p.add_argument("--k", type=int, default=8)
+    p.add_argument("--fractions", type=float, nargs="+",
+                   default=[0.0, 0.05, 0.1, 0.2])
+    p.add_argument("--draws", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(handler=_degradation_handler)
+
+    p = sub.add_parser("report",
+                       help="regenerate every artifact into one markdown file")
+    p.add_argument("--out", default="report.md")
+    p.add_argument("--scale", choices=("quick", "standard"),
+                   default="quick")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(handler=_report_handler)
+
+    p = sub.add_parser("downscale",
+                       help="sleep core switches under a throughput floor")
+    p.add_argument("--k", type=int, required=True)
+    p.add_argument("--floor", type=float, default=0.5)
+    p.add_argument("--flows", type=int, default=8,
+                   help="random idle flows to protect")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(handler=_downscale_handler)
+    return parser
+
+
+def _figure_handler(runner, name):
+    def handler(args) -> int:
+        kwargs = {"ks": args.ks, "seed": args.seed}
+        if hasattr(args, "solver"):
+            kwargs["solver"] = args.solver
+        result = runner(**kwargs)
+        print(f"== {result.experiment} ==")
+        print(result.table())
+        return 0
+
+    return handler
+
+
+def _hybrid_handler(args) -> int:
+    result = run_hybrid(
+        k=args.k,
+        fractions=tuple(args.fractions),
+        seed=args.seed,
+        solver=args.solver,
+    )
+    print(f"== {result.experiment} ==")
+    print(result.table())
+    return 0
+
+
+def _profile_handler(args) -> int:
+    result = profile_mn(fat_tree_params(args.k))
+    print(f"== (m, n) profiling, k={args.k} ==")
+    header = f"{'m':>3}  {'n':>3}  {'pattern':>8}  {'APL':>8}  best"
+    print(header)
+    print("-" * len(header))
+    for row in result.as_rows():
+        mark = "  <-- minimum" if row["best"] else ""
+        print(
+            f"{row['m']:>3}  {row['n']:>3}  {row['pattern']:>8}  "
+            f"{row['apl']:>8.4f}{mark}"
+        )
+    return 0
+
+
+def _convert_handler(args) -> int:
+    design = FlatTreeDesign.for_fat_tree(args.k)
+    controller = Controller(FlatTree(design))
+    plan = controller.apply_mode(Mode(args.mode))
+    net = controller.network
+    print(f"== flat-tree(k={args.k}) -> {args.mode} ==")
+    print(f"plan: {plan.summary()}")
+    for stage in plan.stages:
+        print(f"  - {stage}")
+    print(
+        f"network: {net.num_switches} switches, {net.num_servers} servers, "
+        f"{net.num_cables} cables"
+    )
+    print(f"servers by switch kind: {server_counts_by_kind(net)}")
+    return 0
+
+
+def _compare_handler(args) -> int:
+    from repro.analysis.report import compare_networks
+    from repro.core.conversion import convert
+    from repro.experiments.common import baseline_networks
+
+    baselines = baseline_networks(args.k, seed=args.seed)
+    ft = FlatTree(FlatTreeDesign.for_fat_tree(args.k))
+    nets = [
+        baselines["fat-tree"],
+        convert(ft, Mode.GLOBAL_RANDOM, name="flat-tree[global]"),
+        convert(ft, Mode.LOCAL_RANDOM, name="flat-tree[local]"),
+        baselines["random graph"],
+        baselines["two-stage"],
+    ]
+    print(f"== topology comparison, k={args.k} ==")
+    print(compare_networks(nets, seed=args.seed))
+    return 0
+
+
+def _cost_handler(args) -> int:
+    from repro.core.cost import bill_of_materials, relative_cost
+
+    print("== section 2.7 cost analysis ==")
+    header = (f"{'k':>3}  {'4-port':>7}  {'6-port':>7}  {'extra cables':>12}  "
+              f"{'side bundles':>12}  {'rel. cost':>9}")
+    print(header)
+    print("-" * len(header))
+    for k in args.ks:
+        design = FlatTreeDesign.for_fat_tree(k)
+        bom = bill_of_materials(design)
+        print(
+            f"{k:>3}  {bom.four_port_converters:>7}  "
+            f"{bom.six_port_converters:>7}  {bom.extra_cables:>12}  "
+            f"{bom.side_bundles:>12}  {relative_cost(design):>9.3f}"
+        )
+    print("# rel. cost assumes a converter port costs 0.1 switch ports")
+    return 0
+
+
+def _schedule_handler(args) -> int:
+    from repro.core.reconfigure import (
+        MACH_ZEHNDER,
+        MEMS_OPTICAL,
+        PACKET_CHIP,
+        schedule,
+    )
+
+    tech = {"mems": MEMS_OPTICAL, "mzi": MACH_ZEHNDER,
+            "packet": PACKET_CHIP}[args.technology]
+    controller = Controller(FlatTree(FlatTreeDesign.for_fat_tree(args.k)))
+    before = controller.network
+    plan = controller.apply_mode(Mode(args.mode))
+    sched = schedule(plan, before, technology=tech,
+                     max_batch=args.max_batch)
+    print(f"== conversion schedule, k={args.k} -> {args.mode} ==")
+    print(f"plan: {plan.summary()}")
+    print(f"schedule: {sched.summary()}")
+    return 0
+
+
+def _export_handler(args) -> int:
+    from repro.core.conversion import convert
+    from repro.topology.export import to_dot, to_edge_list, to_json_dict
+
+    net = convert(FlatTree(FlatTreeDesign.for_fat_tree(args.k)),
+                  Mode(args.mode))
+    if args.format == "dot":
+        print(to_dot(net, include_servers=args.servers))
+    elif args.format == "json":
+        import json
+
+        print(json.dumps(to_json_dict(net), indent=1, sort_keys=True))
+    else:
+        print(to_edge_list(net))
+    return 0
+
+
+def _degradation_handler(args) -> int:
+    from repro.experiments.degradation import run_degradation
+
+    result = run_degradation(
+        k=args.k, fractions=tuple(args.fractions), draws=args.draws,
+        seed=args.seed,
+    )
+    print(f"== {result.experiment} ==")
+    print(result.table())
+    return 0
+
+
+def _report_handler(args) -> int:
+    from repro.experiments.report import ReportScale, write_report
+
+    scale = (ReportScale.standard() if args.scale == "standard"
+             else ReportScale.quick())
+    report = write_report(args.out, scale=scale, seed=args.seed)
+    print(f"wrote {args.out}: {len(report.results)} experiments at "
+          f"scale {scale.name!r}")
+    return 0
+
+
+def _downscale_handler(args) -> int:
+    import random
+
+    from repro.core.scaling import downscale_plan
+    from repro.mcf.commodities import Commodity
+    from repro.topology.fattree import build_fat_tree
+
+    net = build_fat_tree(args.k)
+    rng = random.Random(args.seed)
+    servers = list(range(net.num_servers))
+    workload = []
+    while len(workload) < args.flows:
+        a, b = rng.sample(servers, 2)
+        if net.server_switch(a) != net.server_switch(b):
+            workload.append(Commodity(a, b))
+    plan = downscale_plan(net, workload,
+                          min_throughput_fraction=args.floor)
+    print(f"== downscale fat-tree(k={args.k}), floor {args.floor} ==")
+    print(plan.summary())
+    print(f"baseline {plan.baseline_throughput:.4f} -> "
+          f"achieved {plan.achieved_throughput:.4f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,154 @@
+"""Adaptive mode selection from workload measurement (paper §2.6).
+
+"The controller changes among these options to optimize workloads,
+either as explicitly instructed by the network manager or **in an
+adaptive manner through network measurement**.  It may coordinate with
+workload placement software to take advantage of the topologies."
+
+This module implements that adaptive path:
+
+* :func:`classify_workload` reduces a measured commodity set to the
+  features the paper's evaluation shows matter — how much of the demand
+  is hot-spot-concentrated (Figure 7 traffic) vs spread all-to-all in
+  small groups (Figure 8 traffic), and how much crosses Pods;
+* :func:`recommend` maps the features to an operating layout: global
+  random graph for hot-spot/cross-Pod-heavy load, local random graphs
+  for Pod-local clustered load, Clos when demand is too thin to justify
+  churn, and a proportional hybrid split when both kinds coexist;
+* :meth:`AdaptiveController.observe_and_convert` closes the loop on a
+  real :class:`~repro.core.controller.Controller`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.core.controller import Controller, ReconfigurationPlan
+from repro.core.conversion import Mode
+from repro.core.zones import ZoneLayout, proportional_layout, uniform_layout
+from repro.mcf.commodities import Commodity
+from repro.topology.clos import ClosParams
+
+
+@dataclass(frozen=True)
+class WorkloadFeatures:
+    """Measurement summary the mode decision consumes."""
+
+    total_demand: float
+    hotspot_fraction: float   # demand touching the busiest server
+    cross_pod_fraction: float  # demand between different Pods
+    local_cluster_fraction: float  # demand within one Pod
+
+    def __post_init__(self) -> None:
+        for name in ("hotspot_fraction", "cross_pod_fraction",
+                     "local_cluster_fraction"):
+            value = getattr(self, name)
+            if not 0 <= value <= 1 + 1e-9:
+                raise ConfigurationError(f"{name}={value} out of [0, 1]")
+
+
+def classify_workload(
+    params: ClosParams, workload: Iterable[Commodity]
+) -> WorkloadFeatures:
+    """Measure a commodity set into :class:`WorkloadFeatures`."""
+    per_server: Dict[int, float] = {}
+    total = 0.0
+    cross = 0.0
+    local = 0.0
+    for c in workload:
+        total += c.demand
+        per_server[c.src] = per_server.get(c.src, 0.0) + c.demand
+        per_server[c.dst] = per_server.get(c.dst, 0.0) + c.demand
+        if params.server_pod(c.src) == params.server_pod(c.dst):
+            local += c.demand
+        else:
+            cross += c.demand
+    if total == 0:
+        return WorkloadFeatures(0.0, 0.0, 0.0, 0.0)
+    hottest = max(per_server.values(), default=0.0)
+    return WorkloadFeatures(
+        total_demand=total,
+        hotspot_fraction=min(1.0, hottest / total),
+        cross_pod_fraction=cross / total,
+        local_cluster_fraction=local / total,
+    )
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """The adaptive decision: a layout plus its rationale."""
+
+    layout: ZoneLayout
+    reason: str
+
+
+#: Decision thresholds (fractions of total demand).  Exposed so
+#: operators can tune the adaptivity; defaults follow the evaluation's
+#: traffic archetypes.
+HOTSPOT_THRESHOLD = 0.25
+LOCAL_THRESHOLD = 0.6
+THIN_DEMAND = 1e-9
+
+
+def recommend(
+    params: ClosParams,
+    features: WorkloadFeatures,
+) -> Recommendation:
+    """Map measured features to an operating layout."""
+    if features.total_demand <= THIN_DEMAND:
+        return Recommendation(
+            uniform_layout(params, Mode.CLOS),
+            "no measurable demand; stay Clos (free ECMP redundancy, "
+            "no conversion churn)",
+        )
+    hot = features.hotspot_fraction >= HOTSPOT_THRESHOLD
+    local = features.local_cluster_fraction >= LOCAL_THRESHOLD
+    if hot and not local:
+        return Recommendation(
+            uniform_layout(params, Mode.GLOBAL_RANDOM),
+            f"hot spot carries {features.hotspot_fraction:.0%} of demand; "
+            "global random graph maximizes hot-spot capacity (fig. 7)",
+        )
+    if local and not hot:
+        return Recommendation(
+            uniform_layout(params, Mode.LOCAL_RANDOM),
+            f"{features.local_cluster_fraction:.0%} of demand is Pod-local; "
+            "local random graphs optimize small clusters (fig. 8)",
+        )
+    if hot and local:
+        fraction = max(
+            1 / params.pods,
+            min(1 - 1 / params.pods, features.cross_pod_fraction),
+        )
+        return Recommendation(
+            proportional_layout(params, fraction),
+            f"mixed load ({features.hotspot_fraction:.0%} hot-spot, "
+            f"{features.local_cluster_fraction:.0%} Pod-local); "
+            "hybrid split proportional to cross-Pod demand (section 3.4)",
+        )
+    return Recommendation(
+        uniform_layout(params, Mode.GLOBAL_RANDOM),
+        "diffuse cross-Pod demand; global random graph shortens paths "
+        "(fig. 5)",
+    )
+
+
+class AdaptiveController:
+    """A controller that converts based on measured workloads."""
+
+    def __init__(self, controller: Controller) -> None:
+        self.controller = controller
+        self.last_recommendation: Optional[Recommendation] = None
+
+    def observe_and_convert(
+        self, workload: Iterable[Commodity]
+    ) -> Tuple[Recommendation, ReconfigurationPlan]:
+        """Measure, decide, convert; returns (decision, executed plan)."""
+        params = self.controller.flattree.params
+        features = classify_workload(params, list(workload))
+        recommendation = recommend(params, features)
+        plan = self.controller.apply_layout(recommendation.layout)
+        self.last_recommendation = recommendation
+        return recommendation, plan

@@ -1,0 +1,242 @@
+"""Centralized control plane (paper §2.6).
+
+"Flat-tree requires a control plane to change the network topology and
+to conduct routing accordingly ... we follow the recent trend of using a
+centralized network controller for global network management."
+
+:class:`Controller` owns a :class:`~repro.core.flattree.FlatTree` plant
+and provides:
+
+* **conversion** — apply an operating mode or a hybrid
+  :class:`~repro.core.zones.ZoneLayout`; each change produces a
+  :class:`ReconfigurationPlan` describing converter re-programming and
+  the physical link/server churn (which links blink, which servers move
+  to a different switch), executed in drain -> reconfigure -> restore
+  stages;
+* **routing** — per-mode routing scheme selection (two-level for a pure
+  Clos network, k-shortest-paths otherwise), path caching, and SDN
+  compilation (§2.6's pre-computed path programs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import RoutingError
+from repro.core.conversion import Mode, hybrid_configs, mode_configs
+from repro.core.converter import ConverterConfig, ConverterId
+from repro.core.flattree import FlatTree
+from repro.core.zones import ZoneLayout, uniform_layout
+from repro.routing.base import Path, RoutingTable
+from repro.routing.ksp import k_shortest_paths
+from repro.routing.sdn import SdnProgram
+from repro.routing.twolevel import two_level_route
+from repro.topology.elements import Network, SwitchId
+
+
+@dataclass
+class ReconfigurationPlan:
+    """Everything one conversion entails, for audit and staging.
+
+    ``stages`` is the execution order: converters are drained (their
+    circuits go dark), re-programmed, then restored — flows must be
+    steered off the affected links before stage 1 commits.
+    """
+
+    config_changes: Dict[ConverterId, Tuple[ConverterConfig, ConverterConfig]]
+    links_removed: List[Tuple[SwitchId, SwitchId]]
+    links_added: List[Tuple[SwitchId, SwitchId]]
+    servers_moved: Dict[int, Tuple[SwitchId, SwitchId]]
+    stages: List[str] = field(default_factory=list)
+
+    @property
+    def converter_count(self) -> int:
+        return len(self.config_changes)
+
+    def is_noop(self) -> bool:
+        return not self.config_changes
+
+    def summary(self) -> str:
+        return (
+            f"{self.converter_count} converters re-programmed, "
+            f"{len(self.links_removed)} links down, "
+            f"{len(self.links_added)} links up, "
+            f"{len(self.servers_moved)} servers relocated"
+        )
+
+
+class Controller:
+    """Central controller over one flat-tree plant."""
+
+    def __init__(self, flattree: FlatTree) -> None:
+        self.flattree = flattree
+        self.layout: ZoneLayout = uniform_layout(flattree.params, Mode.CLOS)
+        self.flattree.set_configs(mode_configs(flattree, Mode.CLOS))
+        self._network: Optional[Network] = None
+        self._route_cache: Dict[Tuple[SwitchId, SwitchId], List[Path]] = {}
+        self.history: List[ReconfigurationPlan] = []
+
+    # ------------------------------------------------------------------
+    # conversion
+    # ------------------------------------------------------------------
+    @property
+    def network(self) -> Network:
+        """The currently materialized logical network (cached)."""
+        if self._network is None:
+            self._network = self.flattree.materialize()
+        return self._network
+
+    def apply_mode(self, mode: Mode) -> ReconfigurationPlan:
+        """Convert the whole network to one mode."""
+        return self.apply_layout(uniform_layout(self.flattree.params, mode))
+
+    def apply_layout(self, layout: ZoneLayout) -> ReconfigurationPlan:
+        """Convert to a hybrid zone layout and return the plan executed."""
+        target = hybrid_configs(self.flattree, layout.pod_modes())
+        plan = self._plan(target)
+        self.flattree.set_configs(target)
+        self.layout = layout
+        self._network = None
+        self._route_cache.clear()
+        self.history.append(plan)
+        return plan
+
+    def _plan(
+        self, target: Mapping[ConverterId, ConverterConfig]
+    ) -> ReconfigurationPlan:
+        before = self.network
+        changes = self.flattree.diff_configs(target)
+        # Materialize the target on a scratch copy of the converter state
+        # to compute physical churn without committing.
+        snapshot = self.flattree.configs()
+        self.flattree.set_configs(target)
+        after = self.flattree.materialize()
+        self.flattree.set_configs(snapshot)
+
+        removed, added = _link_diff(before, after)
+        moved = {
+            server: (before.server_switch(server), after.server_switch(server))
+            for server in before.servers()
+            if before.server_switch(server) != after.server_switch(server)
+        }
+        stages = []
+        if changes:
+            stages = [
+                f"drain {len(changes)} converters "
+                f"({len(removed)} circuits go dark)",
+                "re-program converter configurations",
+                f"restore circuits ({len(added)} links up, "
+                f"{len(moved)} servers on new switches)",
+                "recompute routes and re-install SDN programs",
+            ]
+        return ReconfigurationPlan(
+            config_changes=changes,
+            links_removed=removed,
+            links_added=added,
+            servers_moved=moved,
+            stages=stages,
+        )
+
+    # ------------------------------------------------------------------
+    # failure self-recovery (paper §5)
+    # ------------------------------------------------------------------
+    def recover(self, failures) -> ReconfigurationPlan:
+        """Re-configure converters to survive a failure set.
+
+        Uses :func:`repro.core.failures.heal` to pick, per affected
+        converter (and jointly per side pair), the configuration that
+        keeps servers attached through healthy legs and preserves the
+        most circuits.  Returns the executed plan; the cached network is
+        the *intended* healthy materialization — ask
+        :func:`repro.core.failures.materialize_with_failures` for the
+        degraded view.
+        """
+        from repro.core.failures import heal
+
+        assignment = heal(self.flattree, failures)
+        plan = self._plan(assignment)
+        self.flattree.set_configs(assignment)
+        self._network = None
+        self._route_cache.clear()
+        self.history.append(plan)
+        return plan
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def _is_pure_clos(self) -> bool:
+        return all(
+            zone.mode is Mode.CLOS for zone in self.layout.zones
+        )
+
+    def routes(self, src_server: int, dst_server: int) -> List[Path]:
+        """Candidate switch paths between two servers' switches.
+
+        Pure Clos uses the deterministic two-level route; any converted
+        network uses k-shortest-paths (Jellyfish-style), cached per
+        switch pair.
+        """
+        net = self.network
+        src_sw = net.server_switch(src_server)
+        dst_sw = net.server_switch(dst_server)
+        if src_sw == dst_sw:
+            return [Path((src_sw,))]
+        if self._is_pure_clos():
+            return [
+                two_level_route(
+                    self.flattree.params, net, src_server, dst_server
+                )
+            ]
+        key = (src_sw, dst_sw)
+        if key not in self._route_cache:
+            self._route_cache[key] = k_shortest_paths(net, src_sw, dst_sw)
+        return self._route_cache[key]
+
+    def route(
+        self, src_server: int, dst_server: int, flow_key: object = 0
+    ) -> Path:
+        """One path for a flow, hash-selected among the candidates."""
+        options = self.routes(src_server, dst_server)
+        if not options:
+            raise RoutingError(
+                f"no route between servers {src_server} and {dst_server}"
+            )
+        table = RoutingTable(name="controller")
+        table.add(options)
+        if options[0].hops == 0:
+            return options[0]
+        return table.select(options[0].src, options[0].dst, flow_key)
+
+    def compile_sdn(
+        self, server_pairs: List[Tuple[int, int]]
+    ) -> SdnProgram:
+        """Pre-compute and compile SDN rules for the given server pairs."""
+        table = RoutingTable(name=f"controller[{self.network.name}]")
+        for src, dst in server_pairs:
+            table.add(self.routes(src, dst))
+        return SdnProgram.compile(table)
+
+
+def _link_diff(
+    before: Network, after: Network
+) -> Tuple[List[Tuple[SwitchId, SwitchId]], List[Tuple[SwitchId, SwitchId]]]:
+    """Cable-level differences between two materializations."""
+
+    def multiset(net: Network) -> Dict[frozenset, int]:
+        return {
+            frozenset((u, v)): d["mult"]
+            for u, v, d in net.fabric.edges(data=True)
+        }
+
+    b, a = multiset(before), multiset(after)
+    removed: List[Tuple[SwitchId, SwitchId]] = []
+    added: List[Tuple[SwitchId, SwitchId]] = []
+    for key in set(b) | set(a):
+        delta = a.get(key, 0) - b.get(key, 0)
+        pair = tuple(key)
+        if delta < 0:
+            removed.extend([pair] * (-delta))
+        elif delta > 0:
+            added.extend([pair] * delta)
+    return removed, added

@@ -1,0 +1,180 @@
+"""Converter switches: the hardware primitive of flat-tree (paper §2.1).
+
+A converter switch is a small software-configurable circuit switch that
+sits on a broken edge-server link and a broken aggregation-core link.  It
+contributes no hops; a *configuration* simply decides which of its
+attached endpoints are circuit-connected (paper Figure 1):
+
+=========  ==================  =========================================
+config     4-port              6-port
+=========  ==================  =========================================
+default    A-C, E-S            A-C, E-S (side ports unused)
+local      A-S, C-E            A-S, C-E (side ports unused)
+side       —                   S-C, plus peer links E-E' and A-A'
+cross      —                   S-C, plus peer links E-A' and A-E'
+=========  ==================  =========================================
+
+4-port converters relocate servers to aggregation switches; 6-port
+converters have a double side connector to a peer converter in an
+adjacent Pod and relocate servers to core switches.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.topology.elements import AggSwitch, CoreSwitch, EdgeSwitch
+
+
+class ConverterConfig(enum.Enum):
+    """A converter switch configuration (paper Figure 1)."""
+
+    DEFAULT = "default"
+    LOCAL = "local"
+    SIDE = "side"
+    CROSS = "cross"
+
+
+#: Configurations that require a peer converter's cooperation.
+PAIRED_CONFIGS: FrozenSet[ConverterConfig] = frozenset(
+    {ConverterConfig.SIDE, ConverterConfig.CROSS}
+)
+
+BLADE_A = "A"  # 4-port converters
+BLADE_B = "B"  # 6-port converters
+
+
+@dataclass(frozen=True, order=True)
+class ConverterId:
+    """Stable identity of a converter switch.
+
+    ``blade`` is ``"A"`` (4-port) or ``"B"`` (6-port); ``row`` indexes the
+    converter matrix row (paper Figure 3); ``edge`` is the Pod-local index
+    of the edge switch whose column the converter occupies.
+    """
+
+    pod: int
+    blade: str
+    row: int
+    edge: int
+
+    def __post_init__(self) -> None:
+        if self.blade not in (BLADE_A, BLADE_B):
+            raise ConfigurationError(f"unknown blade {self.blade!r}")
+
+    @property
+    def is_six_port(self) -> bool:
+        return self.blade == BLADE_B
+
+
+# A realized circuit: either a switch-switch cable or a server attachment.
+CableLink = Tuple[str, Union[CoreSwitch, AggSwitch, EdgeSwitch],
+                  Union[CoreSwitch, AggSwitch, EdgeSwitch]]
+AttachLink = Tuple[str, int, Union[CoreSwitch, AggSwitch, EdgeSwitch]]
+RealizedLink = Union[CableLink, AttachLink]
+
+
+@dataclass
+class Converter:
+    """A converter switch with its physically wired endpoints.
+
+    Attributes
+    ----------
+    cid:
+        Identity (Pod, blade, row, edge column).
+    core / agg / edge:
+        The switches its C, A, and E ports are cabled to.  The core
+        target is fixed by the Pod-core wiring pattern at build time.
+    server:
+        The server id on its S port.
+    peer:
+        The 6-port peer across the adjacent Pod (None for 4-port
+        converters and for the unpaired middle column when d is odd).
+    config:
+        Current configuration.
+    """
+
+    cid: ConverterId
+    core: CoreSwitch
+    agg: AggSwitch
+    edge: EdgeSwitch
+    server: int
+    peer: Optional[ConverterId] = None
+    config: ConverterConfig = field(default=ConverterConfig.DEFAULT)
+
+    @property
+    def valid_configs(self) -> FrozenSet[ConverterConfig]:
+        """Configurations this converter may legally take.
+
+        4-port converters support default/local only (§2.1: they "should
+        not be used to relocate servers to core switches").  6-port
+        converters additionally support side/cross, but only when a peer
+        is wired (the odd-d middle column has unused side connectors).
+        """
+        if self.cid.is_six_port and self.peer is not None:
+            return frozenset(ConverterConfig)
+        return frozenset({ConverterConfig.DEFAULT, ConverterConfig.LOCAL})
+
+    def check_config(self, config: ConverterConfig) -> None:
+        """Raise :class:`ConfigurationError` if ``config`` is illegal."""
+        if config not in self.valid_configs:
+            raise ConfigurationError(
+                f"converter {self.cid} cannot take {config.value!r} "
+                f"(valid: {sorted(c.value for c in self.valid_configs)})"
+            )
+
+    def own_links(self, config: Optional[ConverterConfig] = None) -> List[RealizedLink]:
+        """Circuits realized by this converter alone under ``config``.
+
+        Side links to the peer are *pair* circuits and are produced by
+        :func:`pair_links`, not here, so that each pair is materialized
+        exactly once.
+        """
+        config = config or self.config
+        self.check_config(config)
+        if config is ConverterConfig.DEFAULT:
+            return [("cable", self.agg, self.core),
+                    ("attach", self.server, self.edge)]
+        if config is ConverterConfig.LOCAL:
+            return [("cable", self.core, self.edge),
+                    ("attach", self.server, self.agg)]
+        # SIDE / CROSS: server relocates to the core switch.
+        return [("attach", self.server, self.core)]
+
+
+def pair_links(
+    left: Converter, right: Converter
+) -> List[RealizedLink]:
+    """Circuits realized by a 6-port converter pair's side bundle.
+
+    ``left``/``right`` are the two peered converters (order does not
+    matter).  Both must be in the same paired configuration:
+
+    * ``side``  — peer-wise links E-E' and A-A';
+    * ``cross`` — edge-aggregation links E-A' and A-E'.
+
+    Returns an empty list when neither is in a paired configuration (the
+    side bundle is dark); raises when the two ends disagree.
+    """
+    lc, rc = left.config, right.config
+    in_pair = (lc in PAIRED_CONFIGS, rc in PAIRED_CONFIGS)
+    if in_pair == (False, False):
+        return []
+    if in_pair != (True, True) or lc is not rc:
+        raise ConfigurationError(
+            f"peered converters {left.cid} ({lc.value}) and "
+            f"{right.cid} ({rc.value}) must take the same side/cross "
+            f"configuration"
+        )
+    if left.peer != right.cid or right.peer != left.cid:
+        raise ConfigurationError(
+            f"{left.cid} and {right.cid} are not wired as peers"
+        )
+    if lc is ConverterConfig.SIDE:
+        return [("cable", left.edge, right.edge),
+                ("cable", left.agg, right.agg)]
+    return [("cable", left.edge, right.agg),
+            ("cable", left.agg, right.edge)]

@@ -1,0 +1,106 @@
+"""Quantitative cost model for a flat-tree design (paper §2.7, §2.2).
+
+The paper argues converter-switch cost is "minimal compared to that of
+the high-end servers and switches"; this module computes the actual
+bill of materials a design point implies, so the claim can be checked
+as arithmetic:
+
+* converter switches by port count (4-port blade A, 6-port blade B);
+* extra cables flat-tree adds beyond the Clos baseline (each converter
+  splices into one edge-server and one agg-core cable, adding two cable
+  segments; each side bundle adds two inter-Pod cables);
+* connector counts per Pod (core, server, and bundled side connectors —
+  the quantities Figure 3 annotates);
+* a relative cost estimate under a configurable per-port price ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.core.design import FlatTreeDesign
+from repro.core.interpod import boundaries
+from repro.core.pod import middle_column
+
+
+@dataclass(frozen=True)
+class BillOfMaterials:
+    """Everything a flat-tree design adds on top of its Clos plant."""
+
+    four_port_converters: int
+    six_port_converters: int
+    extra_cables: int
+    side_bundles: int
+    core_connectors_per_pod: int
+    server_connectors_per_pod: int
+    side_connector_pairs_per_pod: int
+
+    @property
+    def total_converters(self) -> int:
+        return self.four_port_converters + self.six_port_converters
+
+    @property
+    def total_converter_ports(self) -> int:
+        return 4 * self.four_port_converters + 6 * self.six_port_converters
+
+
+def bill_of_materials(design: FlatTreeDesign) -> BillOfMaterials:
+    """Compute the converter/cable/connector counts of a design."""
+    params = design.params
+    pairs_per_pod = params.d
+    pods = params.pods
+    four = pods * pairs_per_pod * design.n
+    six = pods * pairs_per_pod * design.m
+
+    # Each converter splices two existing cables into four segments:
+    # +2 cable segments per converter.  Each cabled side bundle carries
+    # two inter-Pod cables that do not exist in Clos.
+    bundles = len(boundaries(design)) * design.m * (params.d // 2)
+    extra_cables = 2 * (four + six) + 2 * bundles
+
+    # Figure 3 quantities (per Pod): every converter exposes one core
+    # and one server connector; 6-port converters expose a double side
+    # connector unless they sit in the odd-d middle column.
+    core_conn = pairs_per_pod * (design.m + design.n)
+    server_conn = core_conn
+    middle = middle_column(params.d)
+    side_cols = params.d - (1 if middle is not None else 0)
+    side_pairs = design.m * side_cols
+
+    return BillOfMaterials(
+        four_port_converters=four,
+        six_port_converters=six,
+        extra_cables=extra_cables,
+        side_bundles=bundles,
+        core_connectors_per_pod=core_conn,
+        server_connectors_per_pod=server_conn,
+        side_connector_pairs_per_pod=side_pairs,
+    )
+
+
+def relative_cost(
+    design: FlatTreeDesign,
+    converter_port_price: float = 0.1,
+    switch_port_price: float = 1.0,
+) -> float:
+    """Converter cost as a fraction of the Clos switch-port cost.
+
+    ``converter_port_price`` expresses the paper's §2.7 argument that a
+    converter port (bare circuit switching, "no processor/buffering,
+    sophisticated routing protocols, or general-purpose OS") costs a
+    small fraction of a full switch port; 0.1 is deliberately
+    conservative.
+    """
+    if converter_port_price < 0 or switch_port_price <= 0:
+        raise ConfigurationError("prices must be positive")
+    params = design.params
+    bom = bill_of_materials(design)
+    switch_ports = (
+        params.pods * params.d * params.edge_ports
+        + params.pods * params.aggs_per_pod * params.agg_ports
+        + params.num_cores * params.core_ports
+    )
+    return (bom.total_converter_ports * converter_port_price) / (
+        switch_ports * switch_port_price
+    )

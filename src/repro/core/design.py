@@ -1,0 +1,125 @@
+"""Flat-tree design points: the (equipment, m, n, pattern, ring) tuple.
+
+A *design point* fixes everything about the physical plant: the Clos
+equipment being converted, how many 4-port (``n``) and 6-port (``m``)
+converter switches each edge/aggregation pair gets, the Pod-core wiring
+pattern, and whether the inter-Pod side bundles close into a ring.
+Operating *modes* (Clos / global random / local random / hybrid) are
+configurations applied on top of one design point at runtime.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import WiringError
+from repro.core.wiring import (
+    PodCoreWiring,
+    WiringPattern,
+    profiled_pattern,
+)
+from repro.topology.clos import ClosParams, fat_tree_params
+
+
+def paper_round(x: float) -> int:
+    """Round half up ("rounded to the closest integer", paper §3.2).
+
+    Python's built-in banker's rounding would turn k/8 = 0.5 into 0,
+    eliminating all 6-port converters at k = 4; the paper clearly keeps
+    them, so half-way cases round up.
+    """
+    return math.floor(x + 0.5)
+
+
+@dataclass(frozen=True)
+class FlatTreeDesign:
+    """A fully-specified flat-tree physical design.
+
+    Attributes
+    ----------
+    params:
+        The Clos equipment being converted.
+    m:
+        6-port converters per edge/aggregation pair — servers that can be
+        relocated to core switches.
+    n:
+        4-port converters per pair — servers that can be relocated to
+        aggregation switches.
+    pattern:
+        Pod-core wiring rotation rule.
+    ring:
+        Whether Pod ``pods - 1``'s right side bundle wraps to Pod 0's
+        left (the paper only says "adjacent Pods"; a ring wastes no side
+        connectors and is the default).
+    """
+
+    params: ClosParams
+    m: int
+    n: int
+    pattern: WiringPattern
+    ring: bool = True
+
+    def __post_init__(self) -> None:
+        # PodCoreWiring validates the m/n budget against group size and
+        # relocatable servers; constructing it is the validation.
+        PodCoreWiring(self.params, self.m, self.n, self.pattern)
+        if self.ring and self.params.pods < 2:
+            raise WiringError("a side-bundle ring needs at least 2 Pods")
+
+    @property
+    def wiring(self) -> PodCoreWiring:
+        """The resolved Pod-core wiring for this design."""
+        return PodCoreWiring(self.params, self.m, self.n, self.pattern)
+
+    @classmethod
+    def for_fat_tree(
+        cls,
+        k: int,
+        m: Optional[int] = None,
+        n: Optional[int] = None,
+        pattern: Optional[WiringPattern] = None,
+        ring: bool = True,
+    ) -> "FlatTreeDesign":
+        """The paper's evaluation design point for fat-tree(k).
+
+        Defaults follow §3.2: ``m = k/8`` and ``n = 2k/8`` (the profiled
+        optimum), rounded half-up.  The wiring pattern defaults to
+        :func:`repro.core.wiring.profiled_pattern`, which reproduces the
+        paper's intent (keep k-multiples-of-4 on the low-APL envelope)
+        under this module's rotation arithmetic; pass ``pattern``
+        explicitly to force the paper's literal per-k rule.
+        """
+        params = fat_tree_params(k)
+        if m is None:
+            m = paper_round(k / 8)
+        if n is None:
+            n = paper_round(2 * k / 8)
+        if pattern is None:
+            pattern = profiled_pattern(params, m)
+        return cls(params=params, m=m, n=n, pattern=pattern, ring=ring)
+
+
+def mn_candidates(k: int, step_fraction: float = 1 / 8) -> list:
+    """The (m, n) grid the paper profiles over (§3.2).
+
+    Multiples of ``k * step_fraction`` (default k/8) with
+    ``m >= 1``, ``n >= 1`` and ``m + n <= k/2``, rounded half-up and
+    de-duplicated.
+    """
+    step = k * step_fraction
+    seen = set()
+    grid = []
+    multiple = 1
+    while paper_round(multiple * step) <= k // 2:
+        m = paper_round(multiple * step)
+        inner = 1
+        while paper_round(inner * step) + m <= k // 2:
+            n = paper_round(inner * step)
+            if (m, n) not in seen and m >= 1 and n >= 1:
+                seen.add((m, n))
+                grid.append((m, n))
+            inner += 1
+        multiple += 1
+    return grid

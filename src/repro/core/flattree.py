@@ -1,0 +1,208 @@
+"""The convertible flat-tree network (paper §2).
+
+:class:`FlatTree` models the *physical plant*: switches, servers, the
+static cables converters never touch, and every converter switch with its
+wired endpoints and peer.  The plant is built once; operating modes are
+then realized by assigning converter configurations and asking
+:meth:`FlatTree.materialize` for the resulting logical
+:class:`~repro.topology.elements.Network`.
+
+Materialized networks carry the exact port-accounting of the plant: a
+circuit realized through a converter consumes the same physical ports the
+underlying cables do, so every mode of a flat-tree built from fat-tree(k)
+uses precisely the fat-tree's equipment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.core.converter import (
+    BLADE_A,
+    BLADE_B,
+    Converter,
+    ConverterConfig,
+    ConverterId,
+    pair_links,
+)
+from repro.core.design import FlatTreeDesign
+from repro.core.interpod import iter_pairs
+from repro.core.pod import blade_a_server_slot, blade_b_server_slot, direct_server_slots
+from repro.core.wiring import Slot
+from repro.topology.clos import add_clos_switches, add_intra_pod_bipartite
+from repro.topology.elements import (
+    AggSwitch,
+    CoreSwitch,
+    EdgeSwitch,
+    Network,
+    SwitchId,
+)
+
+
+class FlatTree:
+    """A flat-tree physical plant with runtime-configurable converters."""
+
+    def __init__(self, design: FlatTreeDesign) -> None:
+        self.design = design
+        self.converters: Dict[ConverterId, Converter] = {}
+        self.pairs: List[Tuple[ConverterId, ConverterId]] = []
+        self._direct_cables: List[Tuple[SwitchId, SwitchId]] = []
+        self._direct_attaches: List[Tuple[int, SwitchId]] = []
+        self._build_plant()
+
+    # ------------------------------------------------------------------
+    # plant construction
+    # ------------------------------------------------------------------
+    def _build_plant(self) -> None:
+        design = self.design
+        params = design.params
+        wiring = design.wiring
+        for pod in range(params.pods):
+            for edge in range(params.d):
+                edge_sw = EdgeSwitch(pod, edge)
+                agg_sw = AggSwitch(pod, params.agg_of_edge(edge))
+                for kind, row, core in wiring.slots(pod, edge):
+                    if kind is Slot.AGG:
+                        self._direct_cables.append((agg_sw, core))
+                        continue
+                    self._add_converter(
+                        pod, edge, edge_sw, agg_sw, core, kind, row
+                    )
+                for slot in direct_server_slots(design):
+                    server = params.server_id(pod, edge, slot)
+                    self._direct_attaches.append((server, edge_sw))
+        self._wire_pairs()
+
+    def _add_converter(
+        self,
+        pod: int,
+        edge: int,
+        edge_sw: EdgeSwitch,
+        agg_sw: AggSwitch,
+        core: CoreSwitch,
+        kind: Slot,
+        row: int,
+    ) -> None:
+        if kind is Slot.BLADE_B:
+            cid = ConverterId(pod, BLADE_B, row, edge)
+            slot = blade_b_server_slot(row)
+        else:
+            cid = ConverterId(pod, BLADE_A, row, edge)
+            slot = blade_a_server_slot(self.design, row)
+        server = self.design.params.server_id(pod, edge, slot)
+        self.converters[cid] = Converter(
+            cid=cid, core=core, agg=agg_sw, edge=edge_sw, server=server
+        )
+
+    def _wire_pairs(self) -> None:
+        for left, right in iter_pairs(self.design):
+            self.converters[left].peer = right
+            self.converters[right].peer = left
+            self.pairs.append((left, right))
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+    def configs(self) -> Dict[ConverterId, ConverterConfig]:
+        """Snapshot of every converter's current configuration."""
+        return {cid: conv.config for cid, conv in self.converters.items()}
+
+    def set_configs(
+        self, assignment: Mapping[ConverterId, ConverterConfig]
+    ) -> None:
+        """Apply a (partial) configuration assignment.
+
+        Every referenced converter must accept its new configuration and
+        — after the whole assignment is applied — every side bundle must
+        be consistent (both ends side, both ends cross, or both dark).
+        The assignment is validated before any state changes.
+        """
+        staged = self.configs()
+        for cid, config in assignment.items():
+            if cid not in self.converters:
+                raise ConfigurationError(f"unknown converter {cid}")
+            self.converters[cid].check_config(config)
+            staged[cid] = config
+        self._check_pair_consistency(staged)
+        for cid, config in assignment.items():
+            self.converters[cid].config = config
+
+    def _check_pair_consistency(
+        self, staged: Mapping[ConverterId, ConverterConfig]
+    ) -> None:
+        from repro.core.converter import PAIRED_CONFIGS
+
+        for left, right in self.pairs:
+            lc, rc = staged[left], staged[right]
+            lp, rp = lc in PAIRED_CONFIGS, rc in PAIRED_CONFIGS
+            if lp != rp or (lp and lc is not rc):
+                raise ConfigurationError(
+                    f"side bundle {left} <-> {right} inconsistent: "
+                    f"{lc.value} vs {rc.value}"
+                )
+
+    # ------------------------------------------------------------------
+    # materialization
+    # ------------------------------------------------------------------
+    def materialize(self, name: Optional[str] = None) -> Network:
+        """Build the logical network realized by the current configs."""
+        params = self.design.params
+        net = Network(name or f"flat-tree({params.pods} pods)")
+        add_clos_switches(net, params)
+        add_intra_pod_bipartite(net, params)
+        for u, v in self._direct_cables:
+            net.add_cable(u, v)
+        for server, switch in self._direct_attaches:
+            net.add_server(server, switch)
+        for conv in self.converters.values():
+            for link in conv.own_links():
+                self._apply_link(net, link)
+        for left, right in self.pairs:
+            for link in pair_links(self.converters[left], self.converters[right]):
+                self._apply_link(net, link)
+        return net
+
+    @staticmethod
+    def _apply_link(net: Network, link) -> None:
+        tag, a, b = link
+        if tag == "cable":
+            net.add_cable(a, b)
+        else:
+            net.add_server(a, b)
+
+    # ------------------------------------------------------------------
+    # conveniences
+    # ------------------------------------------------------------------
+    @property
+    def params(self):
+        return self.design.params
+
+    def six_port_ids(self) -> List[ConverterId]:
+        """All blade B (6-port) converter ids."""
+        return [cid for cid in self.converters if cid.blade == BLADE_B]
+
+    def four_port_ids(self) -> List[ConverterId]:
+        """All blade A (4-port) converter ids."""
+        return [cid for cid in self.converters if cid.blade == BLADE_A]
+
+    def pod_converters(self, pod: int) -> List[ConverterId]:
+        """Converter ids belonging to ``pod``."""
+        return [cid for cid in self.converters if cid.pod == pod]
+
+    def pod_server_groups(self) -> List[List[int]]:
+        """Server ids grouped by Pod (dense id scheme)."""
+        return [
+            list(self.params.pod_servers(p)) for p in range(self.params.pods)
+        ]
+
+    def diff_configs(
+        self, target: Mapping[ConverterId, ConverterConfig]
+    ) -> Dict[ConverterId, Tuple[ConverterConfig, ConverterConfig]]:
+        """Per-converter (current, target) for entries that change."""
+        out: Dict[ConverterId, Tuple[ConverterConfig, ConverterConfig]] = {}
+        for cid, new in target.items():
+            cur = self.converters[cid].config
+            if cur is not new:
+                out[cid] = (cur, new)
+        return out

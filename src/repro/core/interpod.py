@@ -1,0 +1,77 @@
+"""Inter-Pod side wiring (paper §2.5).
+
+The 6-port converters on the *left* blade B of Pod ``p+1`` are bundled to
+those on the *right* blade B of Pod ``p``.  To connect each edge and
+aggregation switch to as many distinct switches in the adjacent Pod as
+possible, the bundle implements a shifting pattern: converter ``<i, j>``
+on the left of Pod ``p+1`` pairs with converter
+``<i, (d/2 - 1 - j + i) mod (d/2)>`` on the right of Pod ``p`` — the
+mirrored column shifted by the row index.
+
+Row parity picks the paired configuration in random-graph modes: even
+rows take ``side`` (peer-wise links E-E', A-A'), odd rows take ``cross``
+(edge-aggregation links E-A', A-E'), giving both kinds of cross-Pod
+connections (§2.5).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.core.converter import BLADE_B, ConverterConfig, ConverterId
+from repro.core.design import FlatTreeDesign
+from repro.core.pod import half_width
+
+
+def boundaries(design: FlatTreeDesign) -> List[Tuple[int, int]]:
+    """Adjacent Pod pairs ``(p, p+1)`` whose side bundles are cabled.
+
+    With ``ring=True`` the last Pod wraps to Pod 0; otherwise the Pods
+    form a line and the outermost side bundles stay dark.
+    """
+    pods = design.params.pods
+    if design.ring:
+        return [(p, (p + 1) % pods) for p in range(pods)]
+    return [(p, p + 1) for p in range(pods - 1)]
+
+
+def paired_column(d: int, row: int, left_col: int) -> int:
+    """Right-blade column paired with ``left_col`` (paper formula).
+
+    ``<i, j>`` on the left of Pod p+1 connects to
+    ``<i, (d/2 - 1 - j + i) % (d/2)>`` on the right of Pod p.
+    """
+    half = half_width(d)
+    return (half - 1 - left_col + row) % half
+
+
+def iter_pairs(
+    design: FlatTreeDesign,
+) -> Iterator[Tuple[ConverterId, ConverterId]]:
+    """All peered 6-port converter pairs as ``(left, right)``.
+
+    ``left`` lives on the left blade B of the higher-indexed Pod of a
+    boundary; ``right`` on the right blade B of the lower-indexed Pod.
+    Column indices are translated to Pod-local edge indices (the right
+    blade's column ``c`` serves edge ``d - d/2 + c``).
+    """
+    d = design.params.d
+    half = half_width(d)
+    for right_pod, left_pod in boundaries(design):
+        for row in range(design.m):
+            for left_col in range(half):
+                right_col = paired_column(d, row, left_col)
+                left_cid = ConverterId(left_pod, BLADE_B, row, left_col)
+                right_cid = ConverterId(
+                    right_pod, BLADE_B, row, d - half + right_col
+                )
+                yield left_cid, right_cid
+
+
+def paired_config_for_row(row: int) -> ConverterConfig:
+    """The paired configuration a row takes in global-random mode.
+
+    "If i is even, they take the 6-port 'side' configuration; if i is
+    odd, they take the 6-port 'cross' configuration."
+    """
+    return ConverterConfig.SIDE if row % 2 == 0 else ConverterConfig.CROSS

@@ -1,0 +1,74 @@
+"""Flat-tree Pod geometry (paper §2.2, Figure 3).
+
+A Pod pairs each edge switch ``Ej`` with aggregation switch ``A(j/r)``
+and gives the pair ``n`` 4-port converters (blade A) and ``m`` 6-port
+converters (blade B).  Converters sit on the two *sides* of the Pod:
+columns for ``E0 .. E(d/2-1)`` on the left, columns for the last ``d/2``
+edge switches on the right.  When ``d`` is odd the middle column goes to
+one side but its 6-port side connectors are unused.
+
+Server slots on an edge switch map to converters deterministically:
+slot ``i < m`` feeds blade B row ``i``, slot ``m <= i < m+n`` feeds blade
+A row ``i - m``, and the remaining slots stay hard-wired to the edge
+switch in every mode.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+from repro.core.design import FlatTreeDesign
+
+
+class PodSide(enum.Enum):
+    """Which side of the Pod a converter column sits on."""
+
+    LEFT = "left"
+    RIGHT = "right"
+    MIDDLE = "middle"  # odd d only; side connectors unused
+
+
+def half_width(d: int) -> int:
+    """Number of paired converter columns per side (``d // 2``)."""
+    return d // 2
+
+
+def side_of_edge(d: int, edge: int) -> PodSide:
+    """Side of the Pod hosting edge switch ``edge``'s converter column."""
+    half = half_width(d)
+    if edge < half:
+        return PodSide.LEFT
+    if edge >= d - half:
+        return PodSide.RIGHT
+    return PodSide.MIDDLE
+
+
+def left_columns(d: int) -> List[int]:
+    """Edge indices whose columns sit on the Pod's left side."""
+    return list(range(half_width(d)))
+
+
+def right_columns(d: int) -> List[int]:
+    """Edge indices whose columns sit on the Pod's right side."""
+    return list(range(d - half_width(d), d))
+
+
+def middle_column(d: int) -> Optional[int]:
+    """The unpaired middle edge index when ``d`` is odd, else None."""
+    return d // 2 if d % 2 == 1 else None
+
+
+def blade_b_server_slot(row: int) -> int:
+    """Edge-switch server slot feeding blade B row ``row``."""
+    return row
+
+
+def blade_a_server_slot(design: FlatTreeDesign, row: int) -> int:
+    """Edge-switch server slot feeding blade A row ``row``."""
+    return design.m + row
+
+
+def direct_server_slots(design: FlatTreeDesign) -> range:
+    """Server slots hard-wired to the edge switch (never relocated)."""
+    return range(design.m + design.n, design.params.servers_per_edge)

@@ -1,0 +1,101 @@
+"""The (m, n) profiling scheme (paper §2.4, demonstrated in §3.2).
+
+"Because flat-tree aims at converting generic Clos networks ... it is
+difficult to pre-define the m and n values for optimal transmission
+performance.  We suggest a profiling scheme: under the preferred
+Pod-core wiring pattern ... vary m and n until they result in the
+shortest average path length over all server pairs."
+
+:func:`profile_mn` sweeps a candidate grid (by default the paper's k/8
+multiples), builds the global-random materialization for each candidate,
+and scores it by server-pair average path length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import WiringError
+from repro.core.conversion import Mode, convert
+from repro.core.design import FlatTreeDesign, mn_candidates
+from repro.core.flattree import FlatTree
+from repro.core.wiring import WiringPattern, profiled_pattern
+from repro.topology.clos import ClosParams
+from repro.topology.stats import average_server_path_length
+
+
+@dataclass(frozen=True)
+class ProfilePoint:
+    """One profiled design candidate and its score."""
+
+    m: int
+    n: int
+    pattern: WiringPattern
+    average_path_length: float
+
+
+@dataclass(frozen=True)
+class ProfileResult:
+    """Full profiling sweep outcome; ``best`` minimizes APL."""
+
+    points: Tuple[ProfilePoint, ...]
+    best: ProfilePoint
+
+    def as_rows(self) -> List[dict]:
+        """Table-friendly row dicts (used by the CLI and experiments)."""
+        return [
+            {
+                "m": p.m,
+                "n": p.n,
+                "pattern": p.pattern.name,
+                "apl": p.average_path_length,
+                "best": p == self.best,
+            }
+            for p in self.points
+        ]
+
+
+def profile_mn(
+    params: ClosParams,
+    candidates: Optional[Sequence[Tuple[int, int]]] = None,
+    ring: bool = True,
+) -> ProfileResult:
+    """Sweep (m, n) candidates and pick the APL-minimizing design.
+
+    Candidates violating the design constraints (m + n over the group
+    size or the relocatable-server budget, or no usable wiring pattern)
+    are skipped silently — the paper's grid includes such points at
+    small k.
+    """
+    if candidates is None:
+        k = params.pods  # fat-tree convention: pods == k
+        candidates = mn_candidates(k)
+    points: List[ProfilePoint] = []
+    for m, n in candidates:
+        try:
+            pattern = profiled_pattern(params, m)
+            design = FlatTreeDesign(
+                params=params, m=m, n=n, pattern=pattern, ring=ring
+            )
+        except WiringError:
+            continue
+        net = convert(FlatTree(design), Mode.GLOBAL_RANDOM)
+        apl = average_server_path_length(net)
+        points.append(ProfilePoint(m, n, pattern, apl))
+    if not points:
+        raise WiringError("no feasible (m, n) candidate to profile")
+    best = min(points, key=lambda p: p.average_path_length)
+    return ProfileResult(points=tuple(points), best=best)
+
+
+def profiled_design(params: ClosParams, ring: bool = True) -> FlatTreeDesign:
+    """The design point the profiling scheme selects for ``params``."""
+    result = profile_mn(params, ring=ring)
+    return FlatTreeDesign(
+        params=params,
+        m=result.best.m,
+        n=result.best.n,
+        pattern=result.best.pattern,
+        ring=ring,
+    )

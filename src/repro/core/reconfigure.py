@@ -1,0 +1,193 @@
+"""Reconfiguration execution: timing and traffic disruption (paper §2.7).
+
+The paper's cost analysis argues converter switches can be realized by
+several switching technologies as long as they are software
+configurable, and that "flat-tree changes topology infrequently, so it
+imposes no rigid restriction on switching delay".  This module makes
+those statements quantitative:
+
+* a :class:`Technology` profile captures a realization's per-converter
+  switching delay and per-batch control overhead (defaults follow the
+  technologies the paper cites: MEMS optical circuit switches,
+  integrated Mach-Zehnder interferometers, and commodity packet chips
+  with port-forwarding rules);
+* :func:`schedule` turns a controller :class:`ReconfigurationPlan` into
+  a staged timeline — converters are grouped into batches whose circuits
+  can blink together without partitioning the network — and reports the
+  total conversion time and the worst single blink window;
+* :func:`disruption` estimates how much in-flight traffic a plan
+  disturbs: the fraction of a workload's flows whose current path
+  crosses a link the plan takes down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.core.controller import ReconfigurationPlan
+from repro.routing.base import Path
+from repro.topology.elements import Network, SwitchId
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A converter-switch realization's timing profile.
+
+    ``switch_delay`` is the per-converter circuit switching time in
+    seconds; ``control_overhead`` the per-batch controller round-trip
+    (rule push + acknowledgment).
+    """
+
+    name: str
+    switch_delay: float
+    control_overhead: float
+
+    def __post_init__(self) -> None:
+        if self.switch_delay < 0 or self.control_overhead < 0:
+            raise ConfigurationError("delays must be non-negative")
+
+
+#: The technologies the paper's §2.7 cites.
+MEMS_OPTICAL = Technology("MEMS optical", switch_delay=25e-3,
+                          control_overhead=5e-3)
+MACH_ZEHNDER = Technology("Mach-Zehnder interferometer",
+                          switch_delay=10e-6, control_overhead=5e-3)
+PACKET_CHIP = Technology("packet chip port-forwarding",
+                         switch_delay=1e-3, control_overhead=10e-3)
+
+
+@dataclass
+class Schedule:
+    """A staged execution of a reconfiguration plan."""
+
+    technology: Technology
+    batches: List[List] = field(default_factory=list)
+
+    @property
+    def num_batches(self) -> int:
+        return len(self.batches)
+
+    @property
+    def total_time(self) -> float:
+        """Wall-clock for the whole conversion (batches run serially)."""
+        if not self.batches:
+            return 0.0
+        return self.num_batches * (
+            self.technology.control_overhead + self.technology.switch_delay
+        )
+
+    @property
+    def blink_window(self) -> float:
+        """Longest dark period for any single circuit (one batch)."""
+        if not self.batches:
+            return 0.0
+        return self.technology.switch_delay
+
+    def summary(self) -> str:
+        return (
+            f"{sum(len(b) for b in self.batches)} converters in "
+            f"{self.num_batches} batches via {self.technology.name}: "
+            f"total {self.total_time * 1e3:.1f} ms, "
+            f"blink {self.blink_window * 1e3:.3f} ms"
+        )
+
+
+def schedule(
+    plan: ReconfigurationPlan,
+    before: Network,
+    technology: Technology = MEMS_OPTICAL,
+    max_batch: int = 64,
+) -> Schedule:
+    """Batch a plan so no batch dark-out disconnects the network.
+
+    Greedy: converters join the current batch as long as removing the
+    batch's dark links keeps ``before`` connected (checked on a scratch
+    copy); otherwise a new batch starts.  ``max_batch`` caps batch size
+    (controller fan-out limits).
+    """
+    from repro.topology.stats import is_connected
+
+    if max_batch < 1:
+        raise ConfigurationError("max_batch must be positive")
+    converters = sorted(plan.config_changes)
+    if not converters:
+        return Schedule(technology=technology)
+    dark_links = _links_by_converter(plan)
+
+    batches: List[List] = []
+    current: List = []
+    scratch = before.copy()
+    removed: List[Tuple[SwitchId, SwitchId]] = []
+    for cid in converters:
+        candidate = dark_links.get(cid, [])
+        for u, v in candidate:
+            if scratch.capacity(u, v) > 0:
+                scratch.remove_cable(u, v)
+                removed.append((u, v))
+        if len(current) >= max_batch or not is_connected(scratch):
+            # Close the batch, restore scratch, start fresh with cid.
+            if current:
+                batches.append(current)
+            current = []
+            for u, v in removed:
+                scratch.add_cable(u, v)
+            removed = []
+            for u, v in candidate:
+                if scratch.capacity(u, v) > 0:
+                    scratch.remove_cable(u, v)
+                    removed.append((u, v))
+        current.append(cid)
+    if current:
+        batches.append(current)
+    return Schedule(technology=technology, batches=batches)
+
+
+def _links_by_converter(plan: ReconfigurationPlan) -> Dict:
+    """Attribute the plan's removed links to converters, best effort.
+
+    A removed link belongs to a converter when one endpoint is the
+    converter's core/agg/edge switch; ambiguous links (shared switches)
+    are attributed to the first matching converter — the schedule only
+    needs a conservative grouping, not an exact one.
+    """
+    remaining = list(plan.links_removed)
+    out: Dict = {}
+    for cid, _change in sorted(plan.config_changes.items()):
+        mine = []
+        rest = []
+        for u, v in remaining:
+            if _touches(cid, u) or _touches(cid, v):
+                mine.append((u, v))
+            else:
+                rest.append((u, v))
+        remaining = rest
+        out[cid] = mine
+    return out
+
+
+def _touches(cid, switch: SwitchId) -> bool:
+    if switch.kind in ("edge", "agg"):
+        return switch.pod == cid.pod
+    return False
+
+
+def disruption(
+    plan: ReconfigurationPlan,
+    flows: Sequence[Tuple[int, Path]],
+) -> float:
+    """Fraction of flows whose path crosses a link the plan takes down.
+
+    ``flows`` is (flow id, current path).  The controller would drain
+    exactly these flows before stage 1 commits; the fraction is the
+    natural "how disruptive is this conversion" metric.
+    """
+    if not flows:
+        raise ConfigurationError("no flows to assess")
+    down = {frozenset(pair) for pair in plan.links_removed}
+    hit = 0
+    for _fid, path in flows:
+        if any(frozenset((u, v)) in down for u, v in path.edges()):
+            hit += 1
+    return hit / len(flows)

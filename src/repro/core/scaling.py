@@ -1,0 +1,129 @@
+"""Elastic up/down-scaling of the network (paper §5, future work).
+
+"[Convertibility can enable] automatic up/down-scale the network at
+busy/idle time."  At idle time a data center wants to power off core
+switches; a convertible topology decides *which* cores are expendable
+and proves the remaining fabric still carries the offered load.
+
+:func:`downscale_plan` greedily sleeps core switches — least-loaded
+first, judged by a concurrent-flow solve of the offered workload — while
+the achieved throughput stays above ``min_throughput_fraction`` of the
+full network's.  The result names the sleeping cores and the verified
+throughput, and :func:`apply_sleep` produces the pruned network for
+inspection.  Waking up is just re-materializing the flat-tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.mcf.commodities import Commodity, build_flow_problem
+from repro.topology.elements import Network, SwitchId
+
+
+@dataclass(frozen=True)
+class DownscalePlan:
+    """Outcome of a downscale search."""
+
+    sleeping: Tuple[SwitchId, ...]
+    baseline_throughput: float
+    achieved_throughput: float
+
+    @property
+    def cores_slept(self) -> int:
+        return len(self.sleeping)
+
+    def summary(self) -> str:
+        if not self.sleeping:
+            return "no core switch can sleep at this throughput floor"
+        loss = 0.0
+        if self.baseline_throughput > 0:
+            loss = 100 * (1 - self.achieved_throughput / self.baseline_throughput)
+        return (
+            f"{self.cores_slept} core switches sleeping, "
+            f"throughput {self.achieved_throughput:.4f} "
+            f"({loss:.1f}% below full network)"
+        )
+
+
+def apply_sleep(net: Network, sleeping: Sequence[SwitchId]) -> Network:
+    """A copy of ``net`` with the sleeping switches' cables removed.
+
+    Sleeping switches stay registered (they exist, powered off) but
+    carry no links and no servers; a sleeping switch hosting servers is
+    rejected — relocate them first by converting.
+    """
+    pruned = net.copy()
+    for switch in sleeping:
+        if pruned.server_count(switch) > 0:
+            raise ConfigurationError(
+                f"switch {switch!r} hosts servers and cannot sleep"
+            )
+        for nbr in list(pruned.fabric[switch]):
+            mult = pruned.fabric[switch][nbr]["mult"]
+            for _ in range(mult):
+                pruned.remove_cable(switch, nbr)
+    return pruned
+
+
+def downscale_plan(
+    net: Network,
+    workload: List[Commodity],
+    min_throughput_fraction: float = 0.5,
+    candidates: Optional[Sequence[SwitchId]] = None,
+    max_sleeping: Optional[int] = None,
+    solver: Optional[str] = None,
+) -> DownscalePlan:
+    """Greedily sleep core switches while the workload keeps flowing.
+
+    Candidates default to all server-free core switches.  Each round
+    sleeps the core whose removal costs the least throughput (verified
+    by a concurrent-flow solve) and stops when the next-best removal
+    would drop below the floor, when candidates run out, or at
+    ``max_sleeping``.
+    """
+    from repro.experiments.common import solve_throughput
+
+    if not 0 < min_throughput_fraction <= 1:
+        raise ConfigurationError(
+            f"throughput floor must be in (0, 1], got {min_throughput_fraction}"
+        )
+    if candidates is None:
+        candidates = [
+            s
+            for s in net.switches_of_kind("core")
+            if net.server_count(s) == 0
+        ]
+    baseline = solve_throughput(
+        build_flow_problem(net, workload), force=solver
+    )
+    floor = baseline * min_throughput_fraction
+    budget = max_sleeping if max_sleeping is not None else len(candidates)
+
+    sleeping: List[SwitchId] = []
+    achieved = baseline
+    remaining = list(candidates)
+    while remaining and len(sleeping) < budget:
+        best: Optional[Tuple[float, SwitchId]] = None
+        for candidate in remaining:
+            pruned = apply_sleep(net, sleeping + [candidate])
+            try:
+                lam = solve_throughput(
+                    build_flow_problem(pruned, workload), force=solver
+                )
+            except Exception:
+                continue  # pruning disconnected the workload; skip
+            if best is None or lam > best[0]:
+                best = (lam, candidate)
+        if best is None or best[0] < floor:
+            break
+        achieved = best[0]
+        sleeping.append(best[1])
+        remaining.remove(best[1])
+    return DownscalePlan(
+        sleeping=tuple(sleeping),
+        baseline_throughput=baseline,
+        achieved_throughput=achieved,
+    )

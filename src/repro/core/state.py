@@ -1,0 +1,130 @@
+"""Controller state persistence: designs and configurations as JSON.
+
+A real deployment's controller must survive restarts: the flat-tree
+*design* (equipment, m/n, wiring pattern, ring) and the current
+*converter configuration* together determine the live topology.  This
+module round-trips both through plain JSON dictionaries, so operators
+can version them, diff them, and audit what the network looked like at
+any point in time.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Mapping
+
+from repro.errors import ConfigurationError
+from repro.core.converter import ConverterConfig, ConverterId
+from repro.core.design import FlatTreeDesign
+from repro.core.flattree import FlatTree
+from repro.core.wiring import WiringPattern
+from repro.topology.clos import ClosParams
+
+_STATE_VERSION = 1
+
+
+def design_to_dict(design: FlatTreeDesign) -> Dict:
+    """A JSON-safe dictionary capturing a design point exactly."""
+    params = design.params
+    return {
+        "version": _STATE_VERSION,
+        "params": {
+            "pods": params.pods,
+            "d": params.d,
+            "r": params.r,
+            "h": params.h,
+            "servers_per_edge": params.servers_per_edge,
+        },
+        "m": design.m,
+        "n": design.n,
+        "pattern": design.pattern.value,
+        "ring": design.ring,
+    }
+
+
+def design_from_dict(data: Mapping) -> FlatTreeDesign:
+    """Inverse of :func:`design_to_dict` (validates on reconstruction)."""
+    _check_version(data)
+    try:
+        params = ClosParams(**data["params"])
+        return FlatTreeDesign(
+            params=params,
+            m=int(data["m"]),
+            n=int(data["n"]),
+            pattern=WiringPattern(int(data["pattern"])),
+            ring=bool(data["ring"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(f"malformed design state: {exc}") from exc
+
+
+def configs_to_dict(ft: FlatTree) -> Dict:
+    """The converter configuration snapshot as a JSON-safe dictionary."""
+    return {
+        "version": _STATE_VERSION,
+        "configs": {
+            _cid_key(cid): config.value
+            for cid, config in ft.configs().items()
+        },
+    }
+
+
+def configs_from_dict(ft: FlatTree, data: Mapping) -> None:
+    """Apply a configuration snapshot to ``ft`` (atomic, validated)."""
+    _check_version(data)
+    try:
+        assignment = {
+            _cid_parse(key): ConverterConfig(value)
+            for key, value in data["configs"].items()
+        }
+    except (KeyError, ValueError) as exc:
+        raise ConfigurationError(f"malformed config state: {exc}") from exc
+    missing = set(ft.converters) - set(assignment)
+    if missing:
+        raise ConfigurationError(
+            f"config state misses {len(missing)} converters "
+            f"(e.g. {sorted(missing)[0]})"
+        )
+    ft.set_configs(assignment)
+
+
+def save_state(ft: FlatTree, path: str) -> None:
+    """Write design + configuration to a JSON file."""
+    state = {
+        "design": design_to_dict(ft.design),
+        "configuration": configs_to_dict(ft),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(state, handle, indent=2, sort_keys=True)
+
+
+def load_state(path: str) -> FlatTree:
+    """Rebuild a flat-tree plant (design + configs) from a JSON file."""
+    with open(path, encoding="utf-8") as handle:
+        state = json.load(handle)
+    try:
+        design_data = state["design"]
+        config_data = state["configuration"]
+    except (KeyError, TypeError) as exc:
+        raise ConfigurationError(f"malformed state file: {exc}") from exc
+    ft = FlatTree(design_from_dict(design_data))
+    configs_from_dict(ft, config_data)
+    return ft
+
+
+def _cid_key(cid: ConverterId) -> str:
+    return f"{cid.pod}/{cid.blade}/{cid.row}/{cid.edge}"
+
+
+def _cid_parse(key: str) -> ConverterId:
+    pod, blade, row, edge = key.split("/")
+    return ConverterId(int(pod), blade, int(row), int(edge))
+
+
+def _check_version(data: Mapping) -> None:
+    version = data.get("version")
+    if version != _STATE_VERSION:
+        raise ConfigurationError(
+            f"unsupported state version {version!r} "
+            f"(this library writes {_STATE_VERSION})"
+        )

@@ -1,0 +1,263 @@
+"""Pod-core wiring patterns (paper §2.3, Figure 4).
+
+Flat-tree replaces the Clos rule "aggregation switch ``i`` of every Pod
+connects to the same ``h`` core switches" with an *edge-switch-based*
+rule: the ``h/r`` connectors associated with edge switch ``j`` in every
+Pod go to the same group of ``h/r`` core switches.  Within a group the
+connectors are laid out consecutively — ``m`` blade B connectors, then
+``n`` blade A connectors, then ``h/r - m - n`` plain aggregation
+connectors — and the layout *rotates* across Pods:
+
+* **Pattern 1** advances each Pod's block by ``m`` core switches, packing
+  blade B connectors continuously Pod by Pod;
+* **Pattern 2** advances it by one more (``m + 1``) per Pod, which avoids
+  the repetition pattern 1 suffers when ``h/r`` is a multiple of ``m``.
+
+Both wrap around within the group, which yields the paper's two wiring
+properties: servers are spread uniformly over core switches, and all
+core switches carry the same number of links of each type.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.errors import WiringError
+from repro.topology.clos import ClosParams
+from repro.topology.elements import CoreSwitch
+
+
+class WiringPattern(enum.Enum):
+    """Pod-core rotation rule (paper Figure 4b/4c)."""
+
+    PATTERN1 = 1
+    PATTERN2 = 2
+
+
+class Slot(enum.Enum):
+    """What occupies one position of an edge group's connector block."""
+
+    BLADE_B = "blade_b"  # core <-> 6-port converter C port
+    BLADE_A = "blade_a"  # core <-> 4-port converter C port
+    AGG = "agg"          # plain aggregation-core link
+
+
+@dataclass(frozen=True)
+class PodCoreWiring:
+    """Resolved Pod-core wiring for a flat-tree design point.
+
+    Parameters are validated once here; all builders then ask
+    :meth:`core_for` / :meth:`slots` for concrete core targets.
+    """
+
+    params: ClosParams
+    m: int
+    n: int
+    pattern: WiringPattern
+
+    def __post_init__(self) -> None:
+        if self.m < 0 or self.n < 0:
+            raise WiringError("m and n must be non-negative")
+        if self.m + self.n > self.params.group_size:
+            raise WiringError(
+                f"m + n = {self.m + self.n} exceeds the h/r = "
+                f"{self.params.group_size} connectors per edge group"
+            )
+        if self.m + self.n > self.params.servers_per_edge:
+            raise WiringError(
+                f"m + n = {self.m + self.n} exceeds the "
+                f"{self.params.servers_per_edge} relocatable servers "
+                f"per edge switch"
+            )
+
+    def rotation_offset(self, pod: int) -> int:
+        """Starting position of ``pod``'s block within each core group."""
+        step = self.m if self.pattern is WiringPattern.PATTERN1 else self.m + 1
+        return (pod * step) % self.params.group_size
+
+    def core_for(self, pod: int, edge: int, position: int) -> CoreSwitch:
+        """Core switch behind connector ``position`` of an edge group.
+
+        ``position`` indexes the logical block: ``0..m-1`` are blade B
+        connectors (6-port converter rows), ``m..m+n-1`` blade A
+        connectors (4-port converter rows), and the rest aggregation
+        connectors.
+        """
+        gs = self.params.group_size
+        if not 0 <= position < gs:
+            raise WiringError(f"position {position} out of range 0..{gs - 1}")
+        rotated = (self.rotation_offset(pod) + position) % gs
+        return CoreSwitch(edge * gs + rotated)
+
+    def slot_kind(self, position: int) -> Slot:
+        """Which connector type occupies ``position`` of the block."""
+        if position < self.m:
+            return Slot.BLADE_B
+        if position < self.m + self.n:
+            return Slot.BLADE_A
+        return Slot.AGG
+
+    def slots(self, pod: int, edge: int) -> Iterator[Tuple[Slot, int, CoreSwitch]]:
+        """Iterate ``(slot kind, row-within-kind, core switch)``.
+
+        ``row-within-kind`` is the blade row for converter slots (0-based
+        within blade B or blade A respectively) and a running index for
+        plain aggregation connectors.
+        """
+        for position in range(self.params.group_size):
+            kind = self.slot_kind(position)
+            if kind is Slot.BLADE_B:
+                row = position
+            elif kind is Slot.BLADE_A:
+                row = position - self.m
+            else:
+                row = position - self.m - self.n
+            yield kind, row, self.core_for(pod, edge, position)
+
+
+def clos_wiring(params: ClosParams) -> PodCoreWiring:
+    """The degenerate wiring with no converters (pure Clos, Figure 4a)."""
+    return PodCoreWiring(params, m=0, n=0, pattern=WiringPattern.PATTERN1)
+
+
+def pattern_step(m: int, pattern: WiringPattern) -> int:
+    """Per-Pod rotation advance of a pattern (m or m+1)."""
+    return m if pattern is WiringPattern.PATTERN1 else m + 1
+
+
+def pattern_is_degenerate(
+    params: ClosParams, m: int, pattern: WiringPattern
+) -> bool:
+    """True when a pattern gives every Pod the same rotation offset.
+
+    With a degenerate rotation (step ≡ 0 mod h/r) the first ``m``
+    positions of every core group receive *only* blade B connectors —
+    i.e. only servers — from every Pod, leaving those core switches with
+    no switch-level links at all.  The paper does not discuss this case
+    (its Property 1 tacitly assumes the rotation actually rotates); we
+    detect it and let design selection fall back to the other pattern.
+    """
+    if m == 0:
+        return False
+    return pattern_step(m, pattern) % params.group_size == 0
+
+
+def safe_pattern(
+    params: ClosParams, m: int, preferred: WiringPattern
+) -> WiringPattern:
+    """``preferred`` unless degenerate, else the other pattern.
+
+    Raises :class:`WiringError` when both rotations are degenerate
+    (only possible for ``h/r = 1`` with converters present).
+    """
+    if not pattern_is_degenerate(params, m, preferred):
+        return preferred
+    other = (
+        WiringPattern.PATTERN2
+        if preferred is WiringPattern.PATTERN1
+        else WiringPattern.PATTERN1
+    )
+    if pattern_is_degenerate(params, m, other):
+        raise WiringError(
+            f"no usable wiring pattern: both rotations are degenerate "
+            f"for m={m}, h/r={params.group_size}"
+        )
+    return other
+
+
+def recommended_pattern_for_k(k: int) -> WiringPattern:
+    """The paper's evaluation rule (§3.2).
+
+    "We use Pod-core wiring pattern 2 when k is a multiple of 4 and
+    pattern 1 otherwise."
+    """
+    return WiringPattern.PATTERN2 if k % 4 == 0 else WiringPattern.PATTERN1
+
+
+def coverage_is_uniform(params: ClosParams, m: int, pattern: WiringPattern) -> bool:
+    """Whether blade B connectors cover core positions uniformly.
+
+    The rotation offsets are multiples of ``g = gcd(step, h/r)``; blocks
+    of width ``m`` starting at those offsets hit every position equally
+    exactly when ``g`` divides ``m``.  Pattern 1 (step = m) is therefore
+    always uniform; pattern 2 (step = m + 1) only sometimes.
+    """
+    if m == 0:
+        return True
+    g = math.gcd(pattern_step(m, pattern), params.group_size)
+    return m % g == 0
+
+
+def profile_is_uniform(
+    params: ClosParams, m: int, n: int, pattern: WiringPattern
+) -> bool:
+    """Whether *all three* connector types cover positions uniformly.
+
+    This is the exact condition for the paper's Property 2 ("the core
+    switches have equal number of links of the same type"): the
+    rotation's gcd ``g = gcd(step, h/r)`` must divide the blade B block
+    width ``m`` *and* the blade A block width ``n`` (the aggregation
+    remainder then follows, since ``g`` divides ``h/r``).  The paper
+    asserts Property 2 unconditionally; under this module's rotation it
+    demonstrably fails when the condition does not hold (e.g. k = 12,
+    m = 2, n = 3 under either pattern) — see the paper-properties tests.
+    """
+    if m == 0 and n == 0:
+        return True
+    g = math.gcd(pattern_step(m, pattern), params.group_size)
+    return m % g == 0 and n % g == 0
+
+
+def rotation_diversity(params: ClosParams, m: int, pattern: WiringPattern) -> int:
+    """Number of distinct rotation offsets a pattern produces."""
+    if m == 0:
+        return 1
+    g = math.gcd(pattern_step(m, pattern), params.group_size)
+    return params.group_size // g
+
+
+def profiled_pattern(params: ClosParams, m: int) -> WiringPattern:
+    """Pick the wiring pattern by (uniform coverage, rotation diversity).
+
+    This is the selection rule our reproduction uses by default.  The
+    paper's evaluation rule ("pattern 2 when k is a multiple of 4") is
+    tied to the authors' exact rotation arithmetic; under the rotation
+    defined in this module it can yield non-uniform — even disconnected —
+    server placement (e.g. k = 8, 12, 24).  Preferring the pattern that
+    keeps Property 1 (uniform servers over cores) and, among those, the
+    one with the most distinct per-Pod offsets reproduces the paper's
+    *intent*: k-multiples-of-4 stay on the low-APL envelope (§3.2).
+    Ties go to pattern 1, the paper's stated default.
+    """
+    candidates = []
+    for pattern in (WiringPattern.PATTERN1, WiringPattern.PATTERN2):
+        if pattern_is_degenerate(params, m, pattern):
+            continue
+        candidates.append(
+            (
+                coverage_is_uniform(params, m, pattern),
+                rotation_diversity(params, m, pattern),
+                -pattern.value,  # tie-break toward pattern 1
+                pattern,
+            )
+        )
+    if not candidates:
+        raise WiringError(
+            f"no usable wiring pattern for m={m}, h/r={params.group_size}"
+        )
+    return max(candidates)[-1]
+
+
+def recommended_pattern(params: ClosParams, m: int) -> WiringPattern:
+    """Generic version of the §2.3 guidance.
+
+    Pattern 1 is preferred, except "when h/r is a multiple of m,
+    different Pods are likely to repeat the same pattern ... in this
+    case, pattern 2 is more favorable".
+    """
+    if m > 0 and params.group_size % m == 0:
+        return WiringPattern.PATTERN2
+    return WiringPattern.PATTERN1

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the flat-tree reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish configuration mistakes from solver failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class TopologyError(ReproError):
+    """A topology is malformed or an operation on it is invalid.
+
+    Examples: adding a cable to an unknown switch, exceeding a switch's
+    port budget, or requesting a builder with inconsistent parameters.
+    """
+
+
+class PortBudgetError(TopologyError):
+    """A switch ran out of physical ports."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid converter-switch or conversion-engine configuration.
+
+    Raised, for instance, when a 4-port converter is asked to take the
+    ``side`` configuration, or when paired 6-port converters are given
+    incompatible configurations.
+    """
+
+
+class WiringError(ReproError):
+    """Pod-core or inter-Pod wiring parameters are inconsistent."""
+
+
+class SolverError(ReproError):
+    """An optimization (LP / approximation) failed to produce a solution."""
+
+
+class TrafficError(ReproError):
+    """A traffic pattern or placement request cannot be satisfied."""
+
+
+class RoutingError(ReproError):
+    """A routing computation failed (e.g. no path between endpoints)."""

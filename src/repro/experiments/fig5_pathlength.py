@@ -1,0 +1,82 @@
+"""Figure 5: average path length of server pairs in the entire network.
+
+The paper profiles flat-tree's (m, n) against fat-tree and a random
+graph over k = 4..32.  The expected shape: flat-tree(m = k/8, n = 2k/8)
+minimizes APL, is notably shorter than fat-tree's, and sits within ~5%
+of the random graph's.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence, Tuple
+
+from repro.core.design import FlatTreeDesign, paper_round
+from repro.core.conversion import Mode, convert
+from repro.core.flattree import FlatTree
+from repro.errors import ReproError
+from repro.experiments.common import (
+    DEFAULT_APL_KS,
+    ExperimentResult,
+    ks_from_env,
+)
+from repro.topology.fattree import build_fat_tree
+from repro.topology.jellyfish import build_jellyfish_like_fat_tree
+from repro.topology.stats import average_server_path_length
+
+#: The (m, n) legend of Figure 5, as multiples of k/8.
+PAPER_MN_FRACTIONS: Sequence[Tuple[int, int]] = (
+    (1, 1),
+    (1, 2),
+    (1, 3),
+    (2, 1),
+    (2, 2),
+)
+
+
+def mn_for(k: int, m_eighths: int, n_eighths: int) -> Tuple[int, int]:
+    """Concrete (m, n) for a legend entry at parameter k (half-up)."""
+    return paper_round(m_eighths * k / 8), paper_round(n_eighths * k / 8)
+
+
+def run_fig5(
+    ks: Optional[Sequence[int]] = None,
+    mn_fractions: Sequence[Tuple[int, int]] = PAPER_MN_FRACTIONS,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Reproduce Figure 5 over the given k sweep."""
+    ks = ks or ks_from_env(DEFAULT_APL_KS)
+    result = ExperimentResult(
+        experiment="fig5: average path length, entire network",
+        x_label="k",
+        y_label="average path length (hops)",
+    )
+    fat = result.new_series("fat-tree")
+    rnd = result.new_series("random graph")
+    flats = {
+        frac: result.new_series(
+            f"flat-tree(m={frac[0]}k/8,n={frac[1]}k/8)"
+        )
+        for frac in mn_fractions
+    }
+    for k in ks:
+        fat.add(k, average_server_path_length(build_fat_tree(k)))
+        rnd.add(
+            k,
+            average_server_path_length(
+                build_jellyfish_like_fat_tree(k, random.Random(seed))
+            ),
+        )
+        for frac, series in flats.items():
+            m, n = mn_for(k, *frac)
+            try:
+                design = FlatTreeDesign.for_fat_tree(k, m=m, n=n)
+            except ReproError:
+                continue  # infeasible grid point (m + n > k/2) at this k
+            net = convert(FlatTree(design), Mode.GLOBAL_RANDOM)
+            series.add(k, average_server_path_length(net))
+    result.notes.append(
+        "paper shape: flat-tree(m=k/8, n=2k/8) minimal, < fat-tree, "
+        "within ~5% of random graph"
+    )
+    return result

@@ -1,0 +1,136 @@
+"""One-command reproduction report: every paper artifact, one document.
+
+``flattree report`` (or :func:`generate_report`) runs the full
+experiment battery at a configurable scale and renders a single
+markdown document with every reproduced table plus the run's
+parameters — the file a reviewer diffs against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import datetime
+import platform
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.degradation import run_degradation
+from repro.experiments.fig5_pathlength import run_fig5
+from repro.experiments.fig6_pod_pathlength import run_fig6
+from repro.experiments.fig7_broadcast import run_fig7
+from repro.experiments.fig8_alltoall import run_fig8
+from repro.experiments.hybrid import run_hybrid
+
+
+@dataclass(frozen=True)
+class ReportScale:
+    """How far each experiment sweeps (laptop presets)."""
+
+    name: str
+    apl_ks: Tuple[int, ...]
+    flow_ks: Tuple[int, ...]
+    hybrid_k: int
+    hybrid_fractions: Tuple[float, ...]
+    degradation_k: int
+
+    @classmethod
+    def quick(cls) -> "ReportScale":
+        """Seconds: the smoke scale CI uses."""
+        return cls(
+            name="quick",
+            apl_ks=(4, 6, 8),
+            flow_ks=(4, 6),
+            hybrid_k=6,
+            hybrid_fractions=(0.5,),
+            degradation_k=6,
+        )
+
+    @classmethod
+    def standard(cls) -> "ReportScale":
+        """A few minutes: the EXPERIMENTS.md scale."""
+        return cls(
+            name="standard",
+            apl_ks=(4, 6, 8, 10, 12, 14, 16),
+            flow_ks=(4, 6, 8),
+            hybrid_k=8,
+            hybrid_fractions=(0.25, 0.5, 0.75),
+            degradation_k=8,
+        )
+
+
+@dataclass
+class Report:
+    """Collected experiment results plus run metadata."""
+
+    scale: ReportScale
+    seed: int
+    results: List[ExperimentResult] = field(default_factory=list)
+    timestamp: Optional[str] = None
+
+    def to_markdown(self) -> str:
+        lines = [
+            "# Flat-tree reproduction report",
+            "",
+            f"* scale: `{self.scale.name}` "
+            f"(APL k = {list(self.scale.apl_ks)}, "
+            f"flow k = {list(self.scale.flow_ks)}, "
+            f"hybrid k = {self.scale.hybrid_k})",
+            f"* seed: {self.seed}",
+            f"* python: {platform.python_version()}",
+        ]
+        if self.timestamp:
+            lines.append(f"* generated: {self.timestamp}")
+        for result in self.results:
+            lines.extend(["", f"## {result.experiment}", "", "```"])
+            lines.append(result.table())
+            lines.extend(["```"])
+        lines.append("")
+        return "\n".join(lines)
+
+
+#: The experiment battery: (builder taking (scale, seed)).
+_BATTERY: Sequence[Callable[[ReportScale, int], ExperimentResult]] = (
+    lambda s, seed: run_fig5(ks=s.apl_ks, seed=seed),
+    lambda s, seed: run_fig6(ks=s.apl_ks, seed=seed),
+    lambda s, seed: run_fig7(ks=s.flow_ks, seed=seed),
+    lambda s, seed: run_fig8(ks=s.flow_ks, seed=seed),
+    lambda s, seed: run_hybrid(
+        k=s.hybrid_k, fractions=s.hybrid_fractions, seed=seed
+    ),
+    lambda s, seed: run_degradation(
+        k=s.degradation_k, fractions=(0.0, 0.1, 0.2), draws=2, seed=seed
+    ),
+)
+
+
+def generate_report(
+    scale: Optional[ReportScale] = None,
+    seed: int = 0,
+    stamp: bool = True,
+) -> Report:
+    """Run the full battery and collect a :class:`Report`."""
+    scale = scale or ReportScale.quick()
+    report = Report(
+        scale=scale,
+        seed=seed,
+        timestamp=(
+            datetime.datetime.now().isoformat(timespec="seconds")
+            if stamp
+            else None
+        ),
+    )
+    for build in _BATTERY:
+        report.results.append(build(scale, seed))
+    return report
+
+
+def write_report(
+    path: str,
+    scale: Optional[ReportScale] = None,
+    seed: int = 0,
+) -> Report:
+    """Generate and write the markdown report to ``path``."""
+    report = generate_report(scale=scale, seed=seed)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(report.to_markdown())
+    return report

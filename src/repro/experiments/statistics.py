@@ -1,0 +1,136 @@
+"""Multi-seed experiment statistics.
+
+Several reproduced curves (random graph, two-stage, weak-locality
+placements, random hotspots) carry draw-to-draw noise.  The paper plots
+single draws; for claims near a tie — flat-tree vs two-stage in Figure
+6, zone throughput vs reference in §3.4 — a mean ± spread over seeds is
+the honest comparison.  :func:`run_seeded` executes any seeded
+experiment function over a seed list and aggregates per-series
+statistics; :func:`summarize_seeded` renders them as a table.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.experiments.common import ExperimentResult
+
+
+@dataclass
+class SeriesStats:
+    """Per-x mean/std/min/max of one series across seeds."""
+
+    label: str
+    samples: Dict[float, List[float]] = field(default_factory=dict)
+
+    def add(self, x: float, value: float) -> None:
+        self.samples.setdefault(x, []).append(value)
+
+    def mean(self, x: float) -> float:
+        values = self._values(x)
+        return sum(values) / len(values)
+
+    def std(self, x: float) -> float:
+        values = self._values(x)
+        if len(values) < 2:
+            return 0.0
+        mu = sum(values) / len(values)
+        return math.sqrt(
+            sum((v - mu) ** 2 for v in values) / (len(values) - 1)
+        )
+
+    def spread(self, x: float) -> Tuple[float, float]:
+        values = self._values(x)
+        return min(values), max(values)
+
+    def xs(self) -> List[float]:
+        return sorted(self.samples)
+
+    def _values(self, x: float) -> List[float]:
+        try:
+            return self.samples[x]
+        except KeyError:
+            raise ReproError(f"no samples at x={x} for {self.label!r}") from None
+
+
+@dataclass
+class SeededResult:
+    """Aggregated outcome of a multi-seed experiment run."""
+
+    experiment: str
+    seeds: Tuple[int, ...]
+    series: Dict[str, SeriesStats] = field(default_factory=dict)
+
+    def stats(self, label: str) -> SeriesStats:
+        try:
+            return self.series[label]
+        except KeyError:
+            raise ReproError(f"no series {label!r}") from None
+
+    def table(self, precision: int = 4) -> str:
+        labels = sorted(self.series)
+        xs = sorted({x for s in self.series.values() for x in s.xs()})
+        header = ["x"] + [f"{label} (mean+-std)" for label in labels]
+        rows = []
+        for x in xs:
+            row = [f"{x:g}"]
+            for label in labels:
+                stats = self.series[label]
+                if x in stats.samples:
+                    row.append(
+                        f"{stats.mean(x):.{precision}f}"
+                        f"+-{stats.std(x):.{precision}f}"
+                    )
+                else:
+                    row.append("-")
+            rows.append(row)
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in rows))
+            if rows else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = ["  ".join(h.rjust(w) for h, w in zip(header, widths))]
+        lines.append("  ".join("-" * w for w in widths))
+        for row in rows:
+            lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+def run_seeded(
+    experiment: Callable[..., ExperimentResult],
+    seeds: Sequence[int],
+    **kwargs,
+) -> SeededResult:
+    """Run ``experiment(seed=s, **kwargs)`` per seed and aggregate."""
+    if not seeds:
+        raise ReproError("need at least one seed")
+    aggregated: SeededResult = SeededResult(
+        experiment="", seeds=tuple(seeds)
+    )
+    for seed in seeds:
+        result = experiment(seed=seed, **kwargs)
+        aggregated.experiment = result.experiment + " [multi-seed]"
+        for series in result.series:
+            stats = aggregated.series.setdefault(
+                series.label, SeriesStats(series.label)
+            )
+            for x, value in series.points.items():
+                stats.add(x, value)
+    return aggregated
+
+
+def significantly_below(
+    result: SeededResult, low_label: str, high_label: str, x: float
+) -> bool:
+    """Whether ``low`` beats ``high`` beyond one pooled std at ``x``.
+
+    The smoke-level significance check the integration tests use for
+    near-tie claims (no distributional assumptions pretended).
+    """
+    low = result.stats(low_label)
+    high = result.stats(high_label)
+    margin = low.std(x) + high.std(x)
+    return low.mean(x) < high.mean(x) - margin

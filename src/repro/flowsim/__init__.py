@@ -1,0 +1,23 @@
+"""Flow-level simulation: max-min fair shares and fluid FCT simulation."""
+
+from repro.flowsim.fairshare import (
+    FairShareResult,
+    RoutedFlow,
+    max_min_fair_rates,
+)
+from repro.flowsim.simulator import (
+    CompletedFlow,
+    FlowSimulator,
+    FlowSpec,
+    SimulationResult,
+)
+
+__all__ = [
+    "CompletedFlow",
+    "FairShareResult",
+    "FlowSimulator",
+    "FlowSpec",
+    "RoutedFlow",
+    "SimulationResult",
+    "max_min_fair_rates",
+]

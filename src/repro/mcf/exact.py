@@ -1,0 +1,138 @@
+"""Exact maximum concurrent multi-commodity flow via sparse LP.
+
+The paper: "We assume optimal routing and solve the maximum concurrent
+multi-commodity flow problem using a linear programming solver" (§3.1,
+citing Leighton & Rao).  This module formulates the source-aggregated
+edge-flow LP and solves it with ``scipy.optimize.linprog`` (HiGHS).
+
+Formulation, for demand groups ``g`` with source ``s_g`` and per-sink
+demands ``d_g(t)``:
+
+    max   λ
+    s.t.  Σ_out f_g  -  Σ_in f_g  =  λ · b_g(v)      ∀ g, v
+          Σ_g f_g(a)  ≤  cap(a)                      ∀ arcs a
+          f ≥ 0, λ ≥ 0
+
+where ``b_g(s_g) = Σ_t d_g(t)``, ``b_g(t) = -d_g(t)``, else 0.  Source
+aggregation is exact for concurrent flow: any per-commodity solution sums
+to a group solution, and a group solution decomposes back by flow
+decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.optimize import linprog
+
+from repro.errors import SolverError
+from repro.mcf.commodities import FlowProblem
+
+
+@dataclass
+class MCFResult:
+    """Outcome of a concurrent-flow solve.
+
+    ``throughput`` is the optimal ``λ`` (rate per unit demand).
+    ``flows`` (optional) has shape ``(num_groups, num_arcs)``.
+    """
+
+    throughput: float
+    method: str
+    flows: Optional[np.ndarray] = None
+
+    def utilization(self, problem: FlowProblem) -> np.ndarray:
+        """Per-arc utilization of the solution (requires flows)."""
+        if self.flows is None:
+            raise SolverError("solve with return_flows=True for utilization")
+        return self.flows.sum(axis=0) / problem.arc_cap
+
+
+def solve_concurrent_exact(
+    problem: FlowProblem, return_flows: bool = False
+) -> MCFResult:
+    """Solve the max concurrent flow LP exactly.
+
+    A demand between disconnected components is not an error: it forces
+    the optimum λ = 0, which is returned as such.  Raises
+    :class:`SolverError` only on solver-level failure (λ = 0 with zero
+    flow is always feasible, so genuine infeasibility cannot occur).
+    """
+    num_arcs = problem.num_arcs
+    num_nodes = problem.num_nodes
+    num_groups = problem.num_groups
+    if num_groups == 0:
+        raise SolverError("no demand groups to solve")
+    num_vars = num_groups * num_arcs + 1
+    lam_col = num_vars - 1
+
+    # Equality block: flow conservation per (group, node), with -λ·b term.
+    rows = []
+    cols = []
+    vals = []
+    for g_index, group in enumerate(problem.groups):
+        row_base = g_index * num_nodes
+        col_base = g_index * num_arcs
+        arc_cols = col_base + np.arange(num_arcs)
+        rows.append(row_base + problem.arc_src)
+        cols.append(arc_cols)
+        vals.append(np.ones(num_arcs))
+        rows.append(row_base + problem.arc_dst)
+        cols.append(arc_cols)
+        vals.append(-np.ones(num_arcs))
+        # -λ·b(v): source row gets -total_demand·λ, sinks +d(t)·λ, moved
+        # to the LHS as coefficients on the λ column.
+        rows.append(np.asarray([row_base + group.source]))
+        cols.append(np.asarray([lam_col]))
+        vals.append(np.asarray([-group.total_demand]))
+        rows.append(row_base + group.sinks)
+        cols.append(np.full(len(group.sinks), lam_col))
+        vals.append(group.demands)
+    a_eq = sp.csr_matrix(
+        (
+            np.concatenate(vals),
+            (np.concatenate(rows), np.concatenate(cols)),
+        ),
+        shape=(num_groups * num_nodes, num_vars),
+    )
+    b_eq = np.zeros(num_groups * num_nodes)
+
+    # Capacity block: Σ_g f_g(a) ≤ cap(a).
+    ub_rows = np.tile(np.arange(num_arcs), num_groups)
+    ub_cols = np.arange(num_groups * num_arcs)
+    a_ub = sp.csr_matrix(
+        (np.ones(num_groups * num_arcs), (ub_rows, ub_cols)),
+        shape=(num_arcs, num_vars),
+    )
+    b_ub = problem.arc_cap.astype(np.float64)
+
+    c = np.zeros(num_vars)
+    c[lam_col] = -1.0
+
+    # Interior point is an order of magnitude faster than simplex on
+    # these node-arc MCF formulations (measured: 15s vs 187s on a
+    # jellyfish(k=8) all-to-all instance) and reaches the same optimum;
+    # simplex remains as the fallback for the rare IPM non-convergence.
+    result = None
+    for method in ("highs-ipm", "highs"):
+        result = linprog(
+            c,
+            A_ub=a_ub,
+            b_ub=b_ub,
+            A_eq=a_eq,
+            b_eq=b_eq,
+            bounds=(0, None),
+            method=method,
+        )
+        if result.success:
+            break
+    if result is None or not result.success:
+        raise SolverError(f"concurrent-flow LP failed: {result.message}")
+    throughput = float(result.x[lam_col])
+    flows = None
+    if return_flows:
+        flows = result.x[:lam_col].reshape(num_groups, num_arcs)
+    return MCFResult(throughput=throughput, method="exact-lp", flows=flows)

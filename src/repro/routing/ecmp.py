@@ -1,0 +1,77 @@
+"""ECMP routing: all equal-cost shortest paths (paper §2.6, RFC 2992).
+
+The suggested Clos-mode routing.  Path enumeration walks the BFS
+distance-layered DAG, which is exact and avoids the combinatorial
+explosion of generic simple-path search.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.errors import RoutingError
+from repro.routing.base import Path, RoutingTable
+from repro.topology.elements import Network, SwitchId
+
+
+def ecmp_paths(
+    net: Network,
+    src: SwitchId,
+    dst: SwitchId,
+    limit: Optional[int] = None,
+) -> List[Path]:
+    """All shortest paths between two switches (up to ``limit``)."""
+    if src == dst:
+        return [Path((src,))]
+    try:
+        gen = nx.all_shortest_paths(net.fabric, src, dst)
+        raw = list(islice(gen, limit)) if limit else list(gen)
+    except (nx.NetworkXNoPath, nx.NodeNotFound):
+        raise RoutingError(f"no path from {src!r} to {dst!r}") from None
+    return [Path(tuple(nodes)) for nodes in raw]
+
+
+def build_ecmp_table(
+    net: Network,
+    pairs: Iterable[Tuple[SwitchId, SwitchId]],
+    limit: Optional[int] = 16,
+) -> RoutingTable:
+    """ECMP routing table for the given switch pairs.
+
+    ``limit`` caps the equal-cost paths kept per pair (hardware ECMP
+    group sizes are bounded in practice; 16 is a common default).
+    """
+    table = RoutingTable(name=f"ecmp[{net.name}]")
+    for src, dst in pairs:
+        if src == dst:
+            continue
+        table.add(ecmp_paths(net, src, dst, limit=limit))
+    return table
+
+
+def ecmp_fanout(net: Network, src: SwitchId, dst: SwitchId) -> int:
+    """Number of distinct equal-cost shortest paths (no cap).
+
+    Computed by dynamic programming over the BFS layers instead of
+    enumeration, so it stays cheap even when the count is huge (used to
+    verify the Clos mode's "rich equal-cost redundant links", §1).
+    """
+    if src == dst:
+        return 1
+    dist = nx.single_source_shortest_path_length(net.fabric, src)
+    if dst not in dist:
+        raise RoutingError(f"no path from {src!r} to {dst!r}")
+    counts: Dict[SwitchId, int] = {src: 1}
+    order = sorted(dist, key=dist.get)
+    for node in order:
+        if node == src:
+            continue
+        total = 0
+        for nbr in net.fabric[node]:
+            if dist.get(nbr, -1) == dist[node] - 1:
+                total += counts.get(nbr, 0)
+        counts[node] = total
+    return counts[dst]

@@ -1,0 +1,76 @@
+"""Two-level fat-tree routing (Al-Fares et al. 2008; paper §2.6).
+
+Clos-mode routing without per-flow state: the upward half of a path is
+picked deterministically from the *destination address suffix* (server
+slot / edge index), and the downward half follows unique prefixes.  The
+result spreads flows over the redundant Clos paths while keeping every
+switch's table two-level (prefix + suffix).
+
+Routes are computed from the dense server-id scheme of
+:class:`~repro.topology.clos.ClosParams`, then validated against the
+actual fabric, so they only succeed on Clos-mode topologies — asking for
+a two-level route on a converted flat-tree raises
+:class:`~repro.errors.RoutingError`, which is exactly the control-plane
+behavior one wants (the controller must switch routing schemes when it
+switches modes).
+"""
+
+from __future__ import annotations
+
+from repro.errors import RoutingError
+from repro.routing.base import Path
+from repro.topology.clos import ClosParams
+from repro.topology.elements import AggSwitch, CoreSwitch, EdgeSwitch, Network
+
+
+def two_level_route(
+    params: ClosParams, net: Network, src_server: int, dst_server: int
+) -> Path:
+    """The deterministic two-level path between two servers' switches.
+
+    The path is validated edge-by-edge on ``net``.
+    """
+    if src_server == dst_server:
+        raise RoutingError("source and destination server coincide")
+    src_pod, src_edge = params.server_pod(src_server), params.server_edge(src_server)
+    dst_pod, dst_edge = params.server_pod(dst_server), params.server_edge(dst_server)
+    dst_slot = params.server_slot(dst_server)
+
+    src_sw = EdgeSwitch(src_pod, src_edge)
+    dst_sw = EdgeSwitch(dst_pod, dst_edge)
+    if src_sw == dst_sw:
+        path = Path((src_sw,))
+    elif src_pod == dst_pod:
+        agg = AggSwitch(src_pod, dst_slot % params.aggs_per_pod)
+        path = Path((src_sw, agg, dst_sw))
+    else:
+        # Upward choices by destination suffix; downward is forced.
+        agg_index = dst_slot % params.aggs_per_pod
+        up_agg = AggSwitch(src_pod, agg_index)
+        # The aggregation switch owns r edge groups; pick the group by a
+        # second suffix digit and the member by the destination edge.
+        group = agg_index * params.r + (dst_slot // params.aggs_per_pod) % params.r
+        position = dst_edge % params.group_size
+        core = CoreSwitch(group * params.group_size + position)
+        down_agg = AggSwitch(dst_pod, group // params.r)
+        path = Path((src_sw, up_agg, core, down_agg, dst_sw))
+    path.validate_on(net)
+    return path
+
+
+def two_level_hops(params: ClosParams, src_server: int, dst_server: int) -> int:
+    """Server-to-server hop count under two-level routing.
+
+    2 for same-switch pairs, 4 within a Pod, 6 across Pods (the classic
+    fat-tree distances, including the two server links).
+    """
+    if src_server == dst_server:
+        raise RoutingError("source and destination server coincide")
+    if (
+        params.server_pod(src_server) == params.server_pod(dst_server)
+        and params.server_edge(src_server) == params.server_edge(dst_server)
+    ):
+        return 2
+    if params.server_pod(src_server) == params.server_pod(dst_server):
+        return 4
+    return 6

@@ -1,0 +1,194 @@
+"""Compiled two-level forwarding tables (Al-Fares et al. 2008, §2.6).
+
+:mod:`repro.routing.twolevel` computes two-level paths analytically;
+this module compiles the equivalent **per-switch tables** — primary
+prefix entries with secondary suffix entries — the way the original
+fat-tree paper programs its switches.  Compiled tables let tests assert
+hardware-relevant properties (table sizes, no blackholes) and let the
+lookup path be walked hop by hop like a real data plane.
+
+Addressing follows the dense server-id scheme: a server's address is
+the triple ``(pod, edge, slot)``.
+
+Table semantics per switch kind:
+
+* **edge(p, j)** — prefix: destination on this switch -> deliver;
+  suffix: slot s -> aggregation switch ``s mod (d/r)``.
+* **agg(p, a)** — prefix: destination in this Pod -> down to its edge;
+  suffix: slot s (+ second digit for r > 1) -> one of the agg's cores.
+* **core(c)** — prefix: destination Pod p -> the Pod's aggregation
+  switch attached to this core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import RoutingError
+from repro.routing.base import Path
+from repro.topology.clos import ClosParams
+from repro.topology.elements import (
+    AggSwitch,
+    CoreSwitch,
+    EdgeSwitch,
+    Network,
+    SwitchId,
+)
+
+
+@dataclass(frozen=True)
+class Address:
+    """A server's two-level routing address."""
+
+    pod: int
+    edge: int
+    slot: int
+
+    @classmethod
+    def of(cls, params: ClosParams, server: int) -> "Address":
+        return cls(
+            pod=params.server_pod(server),
+            edge=params.server_edge(server),
+            slot=params.server_slot(server),
+        )
+
+
+@dataclass
+class SwitchTable:
+    """One switch's two-level table.
+
+    ``prefixes`` maps an exact (pod, edge) prefix — or (pod, None) at
+    cores — to a next hop (None = deliver locally).  ``suffixes`` maps a
+    suffix class (an integer) to a next hop and applies when no prefix
+    matches.
+    """
+
+    switch: SwitchId
+    prefixes: Dict[Tuple[int, Optional[int]], Optional[SwitchId]] = field(
+        default_factory=dict
+    )
+    suffixes: Dict[int, SwitchId] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        return len(self.prefixes) + len(self.suffixes)
+
+    def lookup(self, params: ClosParams, dst: Address) -> Optional[SwitchId]:
+        """Next hop for ``dst`` (None = the destination edge is here)."""
+        exact = self.prefixes.get((dst.pod, dst.edge))
+        if (dst.pod, dst.edge) in self.prefixes:
+            return exact
+        if (dst.pod, None) in self.prefixes:
+            return self.prefixes[(dst.pod, None)]
+        key = _suffix_class(params, self.switch, dst)
+        try:
+            return self.suffixes[key]
+        except KeyError:
+            raise RoutingError(
+                f"table blackhole at {self.switch!r} for {dst}"
+            ) from None
+
+
+def _suffix_class(params: ClosParams, switch: SwitchId, dst: Address) -> int:
+    if switch.kind == "edge":
+        return dst.slot % params.aggs_per_pod
+    # Aggregation switches pick the core: group member by destination
+    # edge, and (for r > 1) the group by a second suffix digit.
+    group_offset = (dst.slot // params.aggs_per_pod) % params.r
+    return group_offset * params.group_size + dst.edge % params.group_size
+
+
+@dataclass
+class TwoLevelTables:
+    """All compiled tables of one Clos network."""
+
+    params: ClosParams
+    tables: Dict[SwitchId, SwitchTable] = field(default_factory=dict)
+
+    def table(self, switch: SwitchId) -> SwitchTable:
+        try:
+            return self.tables[switch]
+        except KeyError:
+            raise RoutingError(f"no table for {switch!r}") from None
+
+    def total_entries(self) -> int:
+        return sum(t.size for t in self.tables.values())
+
+    def max_table_size(self) -> int:
+        return max(t.size for t in self.tables.values())
+
+    def route(self, src_server: int, dst_server: int) -> Path:
+        """Walk the tables from source edge to destination edge."""
+        if src_server == dst_server:
+            raise RoutingError("source and destination coincide")
+        src = Address.of(self.params, src_server)
+        dst = Address.of(self.params, dst_server)
+        here: SwitchId = EdgeSwitch(src.pod, src.edge)
+        nodes: List[SwitchId] = [here]
+        for _hop in range(6):  # two-level paths have <= 4 switch hops
+            nxt = self.table(here).lookup(self.params, dst)
+            if nxt is None:
+                return Path(tuple(nodes))
+            nodes.append(nxt)
+            here = nxt
+        raise RoutingError(
+            f"two-level walk did not converge: {nodes}"
+        )
+
+    def validate_on(self, net: Network) -> None:
+        """Every next hop must be a fabric neighbor of its switch."""
+        for switch, table in self.tables.items():
+            hops = list(table.prefixes.values()) + list(
+                table.suffixes.values()
+            )
+            for nxt in hops:
+                if nxt is not None and not net.fabric.has_edge(switch, nxt):
+                    raise RoutingError(
+                        f"table at {switch!r} points over missing link "
+                        f"to {nxt!r}"
+                    )
+
+
+def compile_two_level_tables(params: ClosParams) -> TwoLevelTables:
+    """Compile the full table set for a Clos layout."""
+    tables = TwoLevelTables(params=params)
+    for pod in range(params.pods):
+        for j in range(params.d):
+            tables.tables[EdgeSwitch(pod, j)] = _edge_table(params, pod, j)
+        for a in range(params.aggs_per_pod):
+            tables.tables[AggSwitch(pod, a)] = _agg_table(params, pod, a)
+    for c in range(params.num_cores):
+        tables.tables[CoreSwitch(c)] = _core_table(params, c)
+    return tables
+
+
+def _edge_table(params: ClosParams, pod: int, j: int) -> SwitchTable:
+    table = SwitchTable(switch=EdgeSwitch(pod, j))
+    table.prefixes[(pod, j)] = None  # deliver
+    for suffix in range(params.aggs_per_pod):
+        table.suffixes[suffix] = AggSwitch(pod, suffix)
+    return table
+
+
+def _agg_table(params: ClosParams, pod: int, a: int) -> SwitchTable:
+    table = SwitchTable(switch=AggSwitch(pod, a))
+    for j in range(params.d):
+        table.prefixes[(pod, j)] = EdgeSwitch(pod, j)
+    for offset in range(params.r):
+        group = a * params.r + offset
+        for member in range(params.group_size):
+            key = offset * params.group_size + member
+            table.suffixes[key] = CoreSwitch(
+                group * params.group_size + member
+            )
+    return table
+
+
+def _core_table(params: ClosParams, c: int) -> SwitchTable:
+    table = SwitchTable(switch=CoreSwitch(c))
+    group = c // params.group_size
+    agg = group // params.r
+    for pod in range(params.pods):
+        table.prefixes[(pod, None)] = AggSwitch(pod, agg)
+    return table

@@ -1,0 +1,64 @@
+"""Topology substrates: network model, builders, metrics, audits."""
+
+from repro.topology.clos import ClosParams, build_clos, fat_tree_params
+from repro.topology.elements import (
+    AggSwitch,
+    CoreSwitch,
+    EdgeSwitch,
+    Network,
+    PlainSwitch,
+    equipment_signature,
+)
+from repro.topology.fattree import build_fat_tree
+from repro.topology.jellyfish import (
+    JellyfishSpec,
+    build_jellyfish,
+    build_jellyfish_like_fat_tree,
+)
+from repro.topology.stats import (
+    average_server_path_length,
+    average_within_group_path_length,
+    degree_histogram,
+    is_connected,
+    link_kind_profile,
+    server_counts_by_kind,
+    server_spread,
+    switch_distances,
+)
+from repro.topology.twostage import PodSwitch, build_two_stage
+from repro.topology.validate import (
+    AuditReport,
+    assert_same_equipment,
+    assert_valid,
+    audit,
+)
+
+__all__ = [
+    "AggSwitch",
+    "AuditReport",
+    "ClosParams",
+    "CoreSwitch",
+    "EdgeSwitch",
+    "JellyfishSpec",
+    "Network",
+    "PlainSwitch",
+    "PodSwitch",
+    "assert_same_equipment",
+    "assert_valid",
+    "audit",
+    "average_server_path_length",
+    "average_within_group_path_length",
+    "build_clos",
+    "build_fat_tree",
+    "build_jellyfish",
+    "build_jellyfish_like_fat_tree",
+    "build_two_stage",
+    "degree_histogram",
+    "equipment_signature",
+    "fat_tree_params",
+    "is_connected",
+    "link_kind_profile",
+    "server_counts_by_kind",
+    "server_spread",
+    "switch_distances",
+]

@@ -1,0 +1,30 @@
+"""Fat-tree(k) builder (Al-Fares et al., SIGCOMM 2008).
+
+A fat-tree with parameter ``k`` (even) has ``k`` Pods, each with ``k/2``
+edge and ``k/2`` aggregation switches, ``(k/2)^2`` core switches, and
+``k/2`` servers per edge switch — ``k^3/4`` servers in total, full
+bisection bandwidth, every switch with exactly ``k`` ports.
+
+This is both the Clos baseline of the paper's evaluation and the physical
+substrate flat-tree converts.  The builder simply instantiates the generic
+Clos builder at the fat-tree operating point; it exists as a separate,
+independently-tested entry point because the paper's experiments are all
+phrased in terms of ``k``.
+"""
+
+from __future__ import annotations
+
+from repro.topology.clos import ClosParams, build_clos, fat_tree_params
+from repro.topology.elements import Network
+
+
+def build_fat_tree(k: int) -> Network:
+    """Build fat-tree(k) as a :class:`~repro.topology.elements.Network`."""
+    params = fat_tree_params(k)
+    net = build_clos(params, name=f"fat-tree(k={k})")
+    return net
+
+
+def fat_tree_equipment(k: int) -> ClosParams:
+    """Alias for :func:`repro.topology.clos.fat_tree_params` (public API)."""
+    return fat_tree_params(k)

@@ -1,0 +1,129 @@
+"""Configuration-model stub matching with rewiring repair.
+
+Several builders (two-stage random graph, ablation topologies) need "a
+random graph with this exact degree sequence".  This module implements
+the standard construction: expand each node into *stubs*, shuffle, pair
+consecutively, then repair self-loops (and, optionally, parallel edges)
+by swapping endpoints with randomly chosen other pairs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, List, Tuple
+
+from repro.errors import TopologyError
+
+Node = Hashable
+_MAX_REPAIR_ROUNDS = 500
+
+
+def match_stubs(
+    stubs: Dict[Node, int],
+    rng: random.Random,
+    allow_parallel: bool = False,
+) -> List[Tuple[Node, Node]]:
+    """Pair stubs into edges honoring the given degree sequence.
+
+    Parameters
+    ----------
+    stubs:
+        Node -> stub count.  The total must be even.
+    rng:
+        Source of randomness (pass a seeded ``random.Random`` for
+        reproducible topologies).
+    allow_parallel:
+        When False (default) the result is a simple graph; when True
+        parallel edges may remain (self-loops are always repaired).
+
+    Raises
+    ------
+    TopologyError
+        If the stub total is odd or the repair loop cannot reach a valid
+        matching (degree sequence not realizable or extremely unlucky).
+    """
+    pool: List[Node] = []
+    for node, count in stubs.items():
+        if count < 0:
+            raise TopologyError(f"negative stub count for {node!r}")
+        pool.extend([node] * count)
+    if len(pool) % 2 != 0:
+        raise TopologyError(f"odd stub total {len(pool)} cannot be matched")
+    if not pool:
+        return []
+
+    rng.shuffle(pool)
+    edges = [(pool[i], pool[i + 1]) for i in range(0, len(pool), 2)]
+    for _ in range(_MAX_REPAIR_ROUNDS):
+        bad = _violations(edges, allow_parallel)
+        if not bad:
+            return edges
+        _repair_round(edges, bad, rng, allow_parallel)
+    raise TopologyError(
+        "stub matching failed to converge; degree sequence may not be "
+        "realizable as a simple graph"
+    )
+
+
+def _edge_key(u: Node, v: Node) -> frozenset:
+    return frozenset((u, v))
+
+
+def _violations(
+    edges: List[Tuple[Node, Node]], allow_parallel: bool
+) -> List[int]:
+    """Indices of edges that are self-loops or (optionally) duplicates."""
+    seen: Dict[frozenset, int] = {}
+    bad: List[int] = []
+    for i, (u, v) in enumerate(edges):
+        if u == v:
+            bad.append(i)
+            continue
+        if allow_parallel:
+            continue
+        key = _edge_key(u, v)
+        if key in seen:
+            bad.append(i)
+        else:
+            seen[key] = i
+    return bad
+
+
+def _repair_round(
+    edges: List[Tuple[Node, Node]],
+    bad: List[int],
+    rng: random.Random,
+    allow_parallel: bool,
+) -> None:
+    """Swap each violating pair's endpoint with a random other pair.
+
+    A swap always preserves the degree sequence; it may or may not fix
+    the violation, which is why the caller loops until clean.
+    """
+    for i in bad:
+        j = rng.randrange(len(edges))
+        if i == j:
+            continue
+        u, v = edges[i]
+        x, y = edges[j]
+        if rng.random() < 0.5:
+            edges[i], edges[j] = (u, x), (v, y)
+        else:
+            edges[i], edges[j] = (u, y), (v, x)
+
+
+def spread_evenly(
+    total: int, buckets: int, rng: random.Random
+) -> List[int]:
+    """Split ``total`` into ``buckets`` near-equal non-negative parts.
+
+    The ``total % buckets`` remainder is assigned to randomly chosen
+    buckets, so no positional bias accumulates across pods/switches.
+    """
+    if buckets <= 0:
+        raise TopologyError("need a positive bucket count")
+    base, extra = divmod(total, buckets)
+    parts = [base] * buckets
+    for i in rng.sample(range(buckets), extra):
+        parts[i] += 1
+    return parts

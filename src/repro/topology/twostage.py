@@ -1,0 +1,140 @@
+"""Two-stage random graph baseline (paper §3.1, Figures 6 and 8).
+
+"[We] compare it with two-stage random graph, which first forms random
+graphs in each Pod with the same number of links as flat-tree, and takes
+the Pods as super nodes to form another layer of random graph together
+with core switches."
+
+Construction, using the same equipment as the Clos/flat-tree under test:
+
+* each Pod keeps its switch inventory (``d`` edge-class and ``d/r``
+  agg-class port budgets) but the switches are undifferentiated;
+* the Pod's servers and its ``d * h/r`` core-facing uplinks are spread
+  over its switches (balanced, random tie-breaks), and the ports left
+  over — exactly twice the Clos intra-Pod link count — are wired into a
+  random simple graph inside the Pod;
+* the super layer matches Pod uplink stubs and core stubs (``pods`` per
+  core) into a random multigraph over {Pods} ∪ {cores}; Pod endpoints
+  are then resolved to concrete Pod switches.
+
+Server ids follow the same dense Pod-major scheme as the Clos builders so
+per-Pod groupings and locality placements stay comparable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+from repro.topology.clos import ClosParams
+from repro.topology.elements import CoreSwitch, Network
+from repro.topology.stubmatch import match_stubs
+
+
+class PodSwitch(NamedTuple):
+    """An undifferentiated switch inside a two-stage random-graph Pod."""
+
+    pod: int
+    index: int
+    kind: str = "podsw"
+
+
+def build_two_stage(
+    params: ClosParams,
+    rng: Optional[random.Random] = None,
+    name: str = "two-stage",
+) -> Network:
+    """Build the two-stage random graph for ``params``' equipment."""
+    rng = rng or random.Random(0)
+    net = Network(name)
+    for c in range(params.num_cores):
+        net.add_switch(CoreSwitch(c), params.core_ports)
+
+    uplink_slots: Dict[int, List[PodSwitch]] = {}
+    for p in range(params.pods):
+        uplink_slots[p] = _build_pod(net, params, p, rng)
+
+    _wire_super_layer(net, params, uplink_slots, rng)
+    return net
+
+
+def _build_pod(
+    net: Network, params: ClosParams, pod: int, rng: random.Random
+) -> List[PodSwitch]:
+    """Create one Pod's switches, servers, and intra-Pod random graph.
+
+    Returns the Pod's uplink slots: a shuffled list with one entry (a Pod
+    switch) per core-facing stub, consumed later by the super layer.
+    """
+    n_pod = params.d + params.aggs_per_pod
+    budgets = [params.edge_ports] * params.d + (
+        [params.agg_ports] * params.aggs_per_pod
+    )
+    switches = [PodSwitch(pod, i) for i in range(n_pod)]
+    for s, ports in zip(switches, budgets):
+        net.add_switch(s, ports)
+
+    free = list(budgets)
+    server_hosts = _greedy_assign(switches, free, params.servers_per_pod, rng)
+    uplink_hosts = _greedy_assign(
+        switches, free, params.d * params.group_size, rng
+    )
+
+    # Whatever ports remain must pair up inside the Pod; by construction
+    # their total equals twice the Clos intra-Pod link count.
+    degrees = {s: free[i] for i, s in enumerate(switches)}
+    for u, v in match_stubs(degrees, rng, allow_parallel=False):
+        net.add_cable(u, v)
+
+    rng.shuffle(server_hosts)
+    for slot, host in enumerate(server_hosts):
+        net.add_server(params.server_id(pod, slot // params.servers_per_edge,
+                                        slot % params.servers_per_edge), host)
+
+    rng.shuffle(uplink_hosts)
+    return uplink_hosts
+
+
+def _greedy_assign(
+    switches: List[PodSwitch],
+    free: List[int],
+    count: int,
+    rng: random.Random,
+) -> List[PodSwitch]:
+    """Assign ``count`` slots to switches, always picking a max-free one.
+
+    Mutates ``free`` in place.  Balanced assignment keeps every switch's
+    leftover intra-Pod degree non-negative and near-equal.
+    """
+    hosts: List[PodSwitch] = []
+    for _ in range(count):
+        best = max(free)
+        candidates = [i for i, f in enumerate(free) if f == best]
+        i = rng.choice(candidates)
+        free[i] -= 1
+        hosts.append(switches[i])
+    return hosts
+
+
+def _wire_super_layer(
+    net: Network,
+    params: ClosParams,
+    uplink_slots: Dict[int, List[PodSwitch]],
+    rng: random.Random,
+) -> None:
+    """Random super-layer over {Pods} ∪ {cores}, resolved to switches."""
+    stubs: Dict[Tuple[str, int], int] = {}
+    for p in range(params.pods):
+        stubs[("pod", p)] = len(uplink_slots[p])
+    for c in range(params.num_cores):
+        stubs[("core", c)] = params.pods
+
+    for a, b in match_stubs(stubs, rng, allow_parallel=True):
+        net.add_cable(_resolve(a, uplink_slots), _resolve(b, uplink_slots))
+
+
+def _resolve(endpoint, uplink_slots: Dict[int, List[PodSwitch]]):
+    tag, index = endpoint
+    if tag == "core":
+        return CoreSwitch(index)
+    return uplink_slots[index].pop()

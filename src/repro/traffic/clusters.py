@@ -1,0 +1,100 @@
+"""Service clusters: the workload unit of the paper's evaluation (§3.1).
+
+Measurement studies cited by the paper find two pervasive patterns:
+broadcast/incast between a hot spot and a large cluster, and all-to-all
+within small clusters.  The evaluation instantiates them as:
+
+* **1000-member clusters** with one randomly chosen hot-spot member that
+  broadcasts to / incasts from all other members (Figure 7);
+* **20-member clusters** with all-to-all traffic (Figure 8).
+
+Cluster members are *logical endpoints* placed onto servers by a
+placement policy (:mod:`repro.traffic.placement`).  When the network has
+fewer servers than one cluster's membership (small k), members wrap
+around the server pool — with server bandwidth relaxed this measures
+switch-level capacity, "relevant to the maximum number of servers a
+topology can accommodate" (§3.1), and it is the only reading under which
+the paper's k = 4..14 data points of Figure 7 exist at all.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import TrafficError
+
+#: Paper cluster sizes.
+BROADCAST_CLUSTER_SIZE = 1000
+ALL_TO_ALL_CLUSTER_SIZE = 20
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """A service cluster: an ordered list of member server ids.
+
+    ``members[i]`` is the server hosting logical member ``i``.  The same
+    server may host several members when the cluster is larger than the
+    server pool.  ``hotspot`` (optional) is the index of the member that
+    acts as broadcast source / incast destination.
+    """
+
+    members: tuple
+    hotspot: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if len(self.members) < 2:
+            raise TrafficError("a cluster needs at least two members")
+        if self.hotspot is not None and not 0 <= self.hotspot < len(self.members):
+            raise TrafficError(f"hotspot index {self.hotspot} out of range")
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    @property
+    def hotspot_server(self) -> int:
+        if self.hotspot is None:
+            raise TrafficError("cluster has no hotspot member")
+        return self.members[self.hotspot]
+
+
+def cluster_count(num_servers: int, cluster_size: int) -> int:
+    """How many clusters the evaluation creates.
+
+    Every server joins at most one cluster, so at most
+    ``num_servers // cluster_size`` disjoint clusters exist; when the
+    pool is smaller than one cluster, a single wrapped cluster is used.
+    """
+    if cluster_size < 2:
+        raise TrafficError("cluster size must be at least 2")
+    return max(1, num_servers // cluster_size)
+
+
+def make_clusters(
+    placement: Sequence[int],
+    cluster_size: int,
+    rng: Optional[random.Random] = None,
+    with_hotspots: bool = False,
+) -> List[Cluster]:
+    """Slice a placed member sequence into clusters.
+
+    ``placement`` is the full logical-member -> server assignment
+    produced by a placement policy; consecutive runs of ``cluster_size``
+    members form the clusters.  With ``with_hotspots`` each cluster gets
+    one uniformly random hot-spot member (paper: "one random server in
+    each cluster is the source/destination").
+    """
+    if len(placement) % cluster_size != 0:
+        raise TrafficError(
+            f"placement length {len(placement)} is not a multiple of the "
+            f"cluster size {cluster_size}"
+        )
+    rng = rng or random.Random(0)
+    clusters = []
+    for start in range(0, len(placement), cluster_size):
+        members = tuple(placement[start:start + cluster_size])
+        hotspot = rng.randrange(cluster_size) if with_hotspots else None
+        clusters.append(Cluster(members=members, hotspot=hotspot))
+    return clusters

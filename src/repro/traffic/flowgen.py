@@ -1,0 +1,174 @@
+"""Flow-level workload generation: sizes and arrivals (extension).
+
+The paper's §3.1 cites measurement studies (DCTCP, Kandula et al.) for
+its traffic patterns; those same studies publish flow-size mixes that
+flow-level simulation needs.  This module provides:
+
+* two classic empirical size mixes as piecewise CDFs — ``WEB_SEARCH``
+  (query/short-message heavy) and ``DATA_MINING`` (more mice, heavier
+  elephants) — plus uniform and fixed mixes for controlled tests;
+* :func:`poisson_flows` — open-loop Poisson arrivals over a server set
+  with a pluggable pair pattern, producing
+  :class:`~repro.flowsim.simulator.FlowSpec` lists for the simulator.
+
+Sizes are in the simulator's capacity-unit-seconds; the CDF knots are
+normalized so the mean of every mix is ~1.0, which keeps FCTs across
+mixes comparable.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import TrafficError
+from repro.flowsim.simulator import FlowSpec
+
+
+@dataclass(frozen=True)
+class SizeCDF:
+    """A piecewise-linear flow-size CDF.
+
+    ``knots`` are (size, cumulative probability) pairs, strictly
+    increasing in both coordinates, ending at probability 1.0.
+    """
+
+    name: str
+    knots: Tuple[Tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.knots) < 2:
+            raise TrafficError("a CDF needs at least two knots")
+        sizes = [s for s, _p in self.knots]
+        probs = [p for _s, p in self.knots]
+        if sorted(sizes) != sizes or sorted(probs) != probs:
+            raise TrafficError("CDF knots must be non-decreasing")
+        if abs(probs[-1] - 1.0) > 1e-9:
+            raise TrafficError("CDF must end at probability 1.0")
+        if probs[0] < 0:
+            raise TrafficError("probabilities must be non-negative")
+
+    def sample(self, rng: random.Random) -> float:
+        """Inverse-transform sample with linear interpolation."""
+        u = rng.random()
+        probs = [p for _s, p in self.knots]
+        i = bisect.bisect_left(probs, u)
+        if i == 0:
+            return self.knots[0][0]
+        (s0, p0), (s1, p1) = self.knots[i - 1], self.knots[i]
+        if p1 == p0:
+            return s1
+        frac = (u - p0) / (p1 - p0)
+        return s0 + frac * (s1 - s0)
+
+    def mean(self, samples: int = 20000, seed: int = 0) -> float:
+        """Monte-Carlo mean (used by tests to pin the normalization)."""
+        rng = random.Random(seed)
+        return sum(self.sample(rng) for _ in range(samples)) / samples
+
+
+#: Web-search-like mix: ~60% sub-0.1 mice, a long tail of elephants.
+WEB_SEARCH = SizeCDF(
+    "web-search",
+    (
+        (0.01, 0.0),
+        (0.03, 0.3),
+        (0.1, 0.6),
+        (0.5, 0.8),
+        (2.0, 0.93),
+        (10.0, 0.99),
+        (35.0, 1.0),
+    ),
+)
+
+#: Data-mining-like mix: even more mice, heavier elephants.
+DATA_MINING = SizeCDF(
+    "data-mining",
+    (
+        (0.005, 0.0),
+        (0.01, 0.5),
+        (0.05, 0.75),
+        (0.5, 0.89),
+        (5.0, 0.96),
+        (40.0, 0.999),
+        (120.0, 1.0),
+    ),
+)
+
+#: A deterministic unit-size mix (controlled experiments).
+FIXED_UNIT = SizeCDF("fixed-unit", ((1.0, 0.0), (1.0 + 1e-12, 1.0)))
+
+#: A uniform [0.5, 1.5] mix.
+UNIFORM = SizeCDF("uniform", ((0.5, 0.0), (1.5, 1.0)))
+
+
+PairPicker = Callable[[random.Random], Tuple[int, int]]
+
+
+def uniform_pairs(servers: Sequence[int]) -> PairPicker:
+    """Source/destination drawn uniformly among distinct servers."""
+    pool = list(servers)
+    if len(pool) < 2:
+        raise TrafficError("need at least two servers")
+
+    def pick(rng: random.Random) -> Tuple[int, int]:
+        a, b = rng.sample(pool, 2)
+        return a, b
+
+    return pick
+
+
+def hotspot_pairs(
+    servers: Sequence[int], hotspot: int, incast_fraction: float = 0.5
+) -> PairPicker:
+    """Flows to/from one hot server (the paper's pervasive pattern)."""
+    pool = [s for s in servers if s != hotspot]
+    if not pool:
+        raise TrafficError("hotspot needs at least one peer")
+    if not 0 <= incast_fraction <= 1:
+        raise TrafficError("incast fraction must be in [0, 1]")
+
+    def pick(rng: random.Random) -> Tuple[int, int]:
+        other = rng.choice(pool)
+        if rng.random() < incast_fraction:
+            return other, hotspot
+        return hotspot, other
+
+    return pick
+
+
+def poisson_flows(
+    pairs: PairPicker,
+    rate: float,
+    duration: float,
+    sizes: SizeCDF = WEB_SEARCH,
+    rng: Optional[random.Random] = None,
+    start_id: int = 0,
+) -> List[FlowSpec]:
+    """Open-loop Poisson arrivals over ``duration`` at ``rate`` flows/s."""
+    if rate <= 0 or duration <= 0:
+        raise TrafficError("rate and duration must be positive")
+    rng = rng or random.Random(0)
+    flows: List[FlowSpec] = []
+    now = rng.expovariate(rate)
+    fid = start_id
+    while now < duration:
+        src, dst = pairs(rng)
+        flows.append(
+            FlowSpec(
+                flow_id=fid,
+                src_server=src,
+                dst_server=dst,
+                size=max(sizes.sample(rng), 1e-6),
+                arrival=now,
+            )
+        )
+        fid += 1
+        now += rng.expovariate(rate)
+    if not flows:
+        raise TrafficError(
+            "no arrivals drawn; increase rate x duration"
+        )
+    return flows

@@ -1,0 +1,95 @@
+"""Traffic patterns: commodity generation from clusters (paper §3.1/3.3).
+
+Patterns produce :class:`~repro.mcf.commodities.Commodity` lists that the
+flow solvers consume.  Same-server pairs never yield commodities (they
+are trivially satisfied under relaxed server bandwidth); same-*switch*
+pairs are produced here and dropped later during switch contraction.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Sequence
+
+from repro.errors import TrafficError
+from repro.mcf.commodities import Commodity
+from repro.traffic.clusters import Cluster
+
+
+def broadcast_commodities(clusters: Iterable[Cluster]) -> List[Commodity]:
+    """Hot spot -> every other member, unit demand, in every cluster."""
+    out: List[Commodity] = []
+    for cluster in clusters:
+        hotspot = cluster.hotspot_server
+        for i, member in enumerate(cluster.members):
+            if i == cluster.hotspot or member == hotspot:
+                continue
+            out.append(Commodity(hotspot, member))
+    _require(out)
+    return out
+
+
+def incast_commodities(clusters: Iterable[Cluster]) -> List[Commodity]:
+    """Every other member -> hot spot (the reverse of broadcast)."""
+    return [
+        Commodity(c.dst, c.src, c.demand)
+        for c in broadcast_commodities(clusters)
+    ]
+
+
+def all_to_all_commodities(clusters: Iterable[Cluster]) -> List[Commodity]:
+    """Every ordered member pair in every cluster, unit demand."""
+    out: List[Commodity] = []
+    for cluster in clusters:
+        for i, a in enumerate(cluster.members):
+            for j, b in enumerate(cluster.members):
+                if i == j or a == b:
+                    continue
+                out.append(Commodity(a, b))
+    _require(out)
+    return out
+
+
+def permutation_commodities(
+    servers: Sequence[int], rng: Optional[random.Random] = None
+) -> List[Commodity]:
+    """A random permutation workload (classic throughput stressor).
+
+    Not part of the paper's evaluation, but a standard pattern for
+    exercising topologies; used by examples and extension benches.
+    """
+    rng = rng or random.Random(0)
+    if len(servers) < 2:
+        raise TrafficError("permutation needs at least two servers")
+    targets = list(servers)
+    # Re-draw until derangement-ish: no fixed points (a few tries suffice).
+    for _ in range(100):
+        rng.shuffle(targets)
+        if all(s != t for s, t in zip(servers, targets)):
+            break
+    return [
+        Commodity(s, t) for s, t in zip(servers, targets) if s != t
+    ]
+
+
+def uniform_commodities(
+    servers: Sequence[int],
+    pairs: int,
+    rng: Optional[random.Random] = None,
+) -> List[Commodity]:
+    """``pairs`` random distinct-server commodities, unit demand each."""
+    rng = rng or random.Random(0)
+    if len(servers) < 2:
+        raise TrafficError("need at least two servers")
+    out: List[Commodity] = []
+    while len(out) < pairs:
+        a, b = rng.sample(list(servers), 2)
+        out.append(Commodity(a, b))
+    return out
+
+
+def _require(commodities: List[Commodity]) -> None:
+    if not commodities:
+        raise TrafficError(
+            "pattern produced no commodities (all members co-located?)"
+        )

@@ -1,0 +1,40 @@
+"""Unit tests for topology comparison reports."""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.report import compare_networks, summarize
+from repro.topology.fattree import build_fat_tree
+from repro.topology.jellyfish import build_jellyfish_like_fat_tree
+
+
+class TestSummarize:
+    def test_fat_tree_summary(self, fat8):
+        summary = summarize(fat8, bisection_trials=2)
+        assert summary.switches == 80
+        assert summary.servers == 128
+        assert summary.cables == 256
+        assert summary.diameter == 4
+        assert 5.0 < summary.average_path_length < 6.0
+        assert summary.servers_by_kind == {"edge": 128}
+        assert summary.bisection > 0
+
+
+class TestCompare:
+    def test_table_contains_all_networks_and_metrics(self):
+        ft = build_fat_tree(4)
+        jf = build_jellyfish_like_fat_tree(4, random.Random(0))
+        table = compare_networks([ft, jf], bisection_trials=2)
+        assert "fat-tree(k=4)" in table
+        assert "jellyfish(k=4)" in table
+        for metric in ("avg path length", "diameter", "bisection",
+                       "servers by layer"):
+            assert metric in table
+
+    def test_columns_align(self):
+        ft = build_fat_tree(4)
+        table = compare_networks([ft], bisection_trials=1)
+        lengths = {len(line) for line in table.splitlines()
+                   if not set(line) <= {"-"}}
+        assert len(lengths) == 1

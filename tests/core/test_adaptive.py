@@ -1,0 +1,124 @@
+"""Unit tests for adaptive mode selection."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.adaptive import (
+    AdaptiveController,
+    WorkloadFeatures,
+    classify_workload,
+    recommend,
+)
+from repro.core.controller import Controller
+from repro.core.conversion import Mode
+from repro.core.design import FlatTreeDesign
+from repro.core.flattree import FlatTree
+from repro.errors import ConfigurationError
+from repro.mcf.commodities import Commodity
+from repro.topology.clos import fat_tree_params
+
+
+@pytest.fixture()
+def params():
+    return fat_tree_params(8)
+
+
+def broadcast_load(params, hotspot=0):
+    others = [s for s in range(params.num_servers) if s != hotspot]
+    return [Commodity(hotspot, s) for s in others]
+
+
+def local_cluster_load(params):
+    out = []
+    for pod in range(params.pods):
+        members = list(params.pod_servers(pod))[:10]
+        out.extend(
+            Commodity(a, b) for a in members for b in members if a != b
+        )
+    return out
+
+
+class TestClassify:
+    def test_broadcast_is_hotspot_heavy(self, params):
+        features = classify_workload(params, broadcast_load(params))
+        assert features.hotspot_fraction == pytest.approx(1.0)
+        assert features.cross_pod_fraction > 0.8
+
+    def test_local_clusters_are_pod_local(self, params):
+        features = classify_workload(params, local_cluster_load(params))
+        assert features.local_cluster_fraction == pytest.approx(1.0)
+        assert features.hotspot_fraction < 0.25
+
+    def test_empty_workload(self, params):
+        features = classify_workload(params, [])
+        assert features.total_demand == 0.0
+
+    def test_feature_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadFeatures(1.0, 1.5, 0.0, 0.0)
+
+
+class TestRecommend:
+    def test_hotspot_gets_global(self, params):
+        features = classify_workload(params, broadcast_load(params))
+        rec = recommend(params, features)
+        assert all(
+            z.mode is Mode.GLOBAL_RANDOM for z in rec.layout.zones
+        )
+        assert "hot spot" in rec.reason
+
+    def test_local_clusters_get_local(self, params):
+        features = classify_workload(params, local_cluster_load(params))
+        rec = recommend(params, features)
+        assert all(z.mode is Mode.LOCAL_RANDOM for z in rec.layout.zones)
+
+    def test_thin_demand_stays_clos(self, params):
+        rec = recommend(params, WorkloadFeatures(0.0, 0.0, 0.0, 0.0))
+        assert all(z.mode is Mode.CLOS for z in rec.layout.zones)
+        assert "churn" in rec.reason
+
+    def test_mixed_load_gets_hybrid(self, params):
+        heavy_broadcast = [
+            Commodity(c.src, c.dst, demand=2.5)
+            for c in broadcast_load(params)
+        ]
+        mixed = heavy_broadcast + local_cluster_load(params)
+        features = classify_workload(params, mixed)
+        assert features.hotspot_fraction >= 0.25
+        assert features.local_cluster_fraction >= 0.6
+        rec = recommend(params, features)
+        modes = {z.mode for z in rec.layout.zones}
+        assert modes == {Mode.GLOBAL_RANDOM, Mode.LOCAL_RANDOM}
+
+    def test_diffuse_cross_pod_gets_global(self, params):
+        rng = random.Random(0)
+        servers = list(range(params.num_servers))
+        diffuse = []
+        while len(diffuse) < 300:
+            a, b = rng.sample(servers, 2)
+            if params.server_pod(a) != params.server_pod(b):
+                diffuse.append(Commodity(a, b))
+        rec = recommend(params, classify_workload(params, diffuse))
+        assert all(z.mode is Mode.GLOBAL_RANDOM for z in rec.layout.zones)
+
+
+class TestAdaptiveController:
+    def test_closed_loop_conversion(self, params):
+        controller = Controller(FlatTree(FlatTreeDesign.for_fat_tree(8)))
+        adaptive = AdaptiveController(controller)
+        rec, plan = adaptive.observe_and_convert(broadcast_load(params))
+        assert not plan.is_noop()
+        assert adaptive.last_recommendation is rec
+        # Converged: re-observing the same workload is a no-op.
+        _rec2, plan2 = adaptive.observe_and_convert(broadcast_load(params))
+        assert plan2.is_noop()
+
+    def test_workload_shift_triggers_reconversion(self, params):
+        controller = Controller(FlatTree(FlatTreeDesign.for_fat_tree(8)))
+        adaptive = AdaptiveController(controller)
+        adaptive.observe_and_convert(broadcast_load(params))
+        _rec, plan = adaptive.observe_and_convert(local_cluster_load(params))
+        assert not plan.is_noop()

@@ -1,0 +1,95 @@
+"""Property tests for controller conversion invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.controller import Controller
+from repro.core.conversion import Mode
+from repro.core.design import FlatTreeDesign
+from repro.core.flattree import FlatTree
+from repro.core.zones import proportional_layout, uniform_layout
+
+
+@pytest.fixture()
+def controller():
+    return Controller(FlatTree(FlatTreeDesign.for_fat_tree(6)))
+
+
+MODES = st.sampled_from(list(Mode))
+
+
+@settings(max_examples=15)
+@given(st.lists(MODES, min_size=1, max_size=4))
+def test_property_conversion_sequences_stay_consistent(sequence):
+    """Any mode sequence: plans are balanced and state stays coherent.
+
+    Invariants per step: links removed == links added (conversion
+    rewires, never gains or loses cables); converter count == servers
+    moved (every re-programmed converter re-homes exactly its server);
+    the cached network always matches a fresh materialization.
+    """
+    controller = Controller(FlatTree(FlatTreeDesign.for_fat_tree(6)))
+    for mode in sequence:
+        plan = controller.apply_mode(mode)
+        assert len(plan.links_removed) == len(plan.links_added)
+        assert plan.converter_count == len(plan.servers_moved)
+        fresh = controller.flattree.materialize()
+        assert set(controller.network.fabric.edges()) == set(
+            fresh.fabric.edges()
+        )
+
+
+@settings(max_examples=15)
+@given(MODES, MODES)
+def test_property_round_trip_restores_topology(first, second):
+    """A -> B -> A always lands back on A's exact topology."""
+    controller = Controller(FlatTree(FlatTreeDesign.for_fat_tree(6)))
+    controller.apply_mode(first)
+    reference = set(controller.network.fabric.edges())
+    servers = {
+        s: controller.network.server_switch(s)
+        for s in controller.network.servers()
+    }
+    controller.apply_mode(second)
+    controller.apply_mode(first)
+    assert set(controller.network.fabric.edges()) == reference
+    assert {
+        s: controller.network.server_switch(s)
+        for s in controller.network.servers()
+    } == servers
+
+
+@settings(max_examples=10)
+@given(st.integers(min_value=1, max_value=4))
+def test_property_hybrid_fraction_monotone_churn(global_pods):
+    """Moving one Pod between zones re-programs only that Pod's border.
+
+    Converting from an f-Pod global zone to an (f+1)-Pod global zone
+    must touch at most the converters of the moved Pod and its two
+    neighbors (boundary bundles) — locality of reconfiguration.
+    """
+    controller = Controller(FlatTree(FlatTreeDesign.for_fat_tree(6)))
+    params = controller.flattree.params
+    controller.apply_layout(
+        proportional_layout(params, global_pods / params.pods)
+    )
+    plan = controller.apply_layout(
+        proportional_layout(params, (global_pods + 1) / params.pods)
+    )
+    affected_pods = {cid.pod for cid in plan.config_changes}
+    moved = global_pods  # the Pod index that switched zones
+    allowed = {moved, (moved - 1) % params.pods, (moved + 1) % params.pods}
+    assert affected_pods <= allowed
+
+
+def test_uniform_layout_equals_mode(controller):
+    a = controller.apply_layout(
+        uniform_layout(controller.flattree.params, Mode.GLOBAL_RANDOM)
+    )
+    net_a = set(controller.network.fabric.edges())
+    controller.apply_mode(Mode.CLOS)
+    controller.apply_mode(Mode.GLOBAL_RANDOM)
+    assert set(controller.network.fabric.edges()) == net_a

@@ -1,0 +1,113 @@
+"""Unit tests for the conversion engine (modes and hybrid maps)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.conversion import Mode, convert, hybrid_configs, mode_configs
+from repro.core.converter import BLADE_A, BLADE_B, ConverterConfig
+from repro.core.design import FlatTreeDesign
+from repro.core.flattree import FlatTree
+from repro.errors import ConfigurationError
+from repro.topology.validate import assert_valid
+
+
+class TestModeConfigs:
+    def test_clos_all_default(self, flattree8):
+        configs = mode_configs(flattree8, Mode.CLOS)
+        assert set(configs.values()) == {ConverterConfig.DEFAULT}
+
+    def test_local_random_blades(self, flattree8):
+        configs = mode_configs(flattree8, Mode.LOCAL_RANDOM)
+        for cid, config in configs.items():
+            expected = (
+                ConverterConfig.LOCAL
+                if cid.blade == BLADE_A
+                else ConverterConfig.DEFAULT
+            )
+            assert config is expected
+
+    def test_global_random_blades(self, flattree8):
+        configs = mode_configs(flattree8, Mode.GLOBAL_RANDOM)
+        for cid, config in configs.items():
+            if cid.blade == BLADE_A:
+                assert config is ConverterConfig.LOCAL
+            else:
+                expected = (
+                    ConverterConfig.SIDE
+                    if cid.row % 2 == 0
+                    else ConverterConfig.CROSS
+                )
+                assert config is expected
+
+
+class TestHybrid:
+    def test_requires_complete_pod_map(self, flattree8):
+        with pytest.raises(ConfigurationError, match="missing"):
+            hybrid_configs(flattree8, {0: Mode.CLOS})
+
+    def test_rejects_unknown_pods(self, flattree8):
+        modes = {p: Mode.CLOS for p in range(9)}
+        with pytest.raises(ConfigurationError):
+            hybrid_configs(flattree8, modes)
+
+    def test_boundary_six_port_falls_back_to_local(self, flattree8):
+        """A global Pod adjacent to a non-global Pod loses its bundle."""
+        modes = {p: Mode.LOCAL_RANDOM for p in range(8)}
+        modes[3] = Mode.GLOBAL_RANDOM
+        configs = hybrid_configs(flattree8, modes)
+        for cid in flattree8.six_port_ids():
+            if cid.pod == 3:
+                # Both neighbors are local-random: no side/cross allowed.
+                assert configs[cid] is ConverterConfig.LOCAL
+
+    def test_interior_global_pods_keep_bundles(self, flattree8):
+        modes = {p: Mode.GLOBAL_RANDOM for p in range(8)}
+        modes[7] = Mode.LOCAL_RANDOM
+        configs = hybrid_configs(flattree8, modes)
+        paired = [
+            cid for cid in flattree8.six_port_ids()
+            if configs[cid] in (ConverterConfig.SIDE, ConverterConfig.CROSS)
+        ]
+        # Pods 1..5 are interior to the global zone (ring: 0 and 6 touch
+        # the local Pod 7 on one side each).
+        assert paired
+        for cid in paired:
+            peer = flattree8.converters[cid].peer
+            assert modes[peer.pod] is Mode.GLOBAL_RANDOM
+
+    def test_hybrid_materializes_valid(self, flattree8):
+        modes = {p: (Mode.GLOBAL_RANDOM if p < 4 else Mode.LOCAL_RANDOM)
+                 for p in range(8)}
+        net = convert(flattree8, pod_modes=modes)
+        assert_valid(net)
+
+    def test_mixed_with_clos_zone(self, flattree8):
+        modes = {0: Mode.CLOS, 1: Mode.CLOS}
+        modes.update({p: Mode.GLOBAL_RANDOM for p in range(2, 5)})
+        modes.update({p: Mode.LOCAL_RANDOM for p in range(5, 8)})
+        net = convert(flattree8, pod_modes=modes)
+        assert_valid(net)
+        # Clos-zone Pods keep their Clos server placement.
+        for server in flattree8.params.pod_servers(0):
+            assert net.server_switch(server).kind == "edge"
+
+
+class TestConvertDispatch:
+    def test_exactly_one_argument(self, flattree8):
+        with pytest.raises(ConfigurationError):
+            convert(flattree8)
+        with pytest.raises(ConfigurationError):
+            convert(
+                flattree8,
+                mode=Mode.CLOS,
+                pod_modes={p: Mode.CLOS for p in range(8)},
+            )
+
+    def test_names(self, flattree8):
+        net = convert(flattree8, Mode.GLOBAL_RANDOM)
+        assert "global-random" in net.name
+        net = convert(flattree8, pod_modes={p: Mode.CLOS for p in range(8)})
+        assert "hybrid" in net.name
+        net = convert(flattree8, Mode.CLOS, name="custom")
+        assert net.name == "custom"

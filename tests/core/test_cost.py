@@ -1,0 +1,68 @@
+"""Unit tests for the cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cost import bill_of_materials, relative_cost
+from repro.core.design import FlatTreeDesign
+from repro.errors import ConfigurationError
+
+
+class TestBillOfMaterials:
+    def test_k8_counts(self, design8):
+        bom = bill_of_materials(design8)
+        # k=8: 8 pods x 4 pairs, m=1, n=2.
+        assert bom.six_port_converters == 32
+        assert bom.four_port_converters == 64
+        assert bom.total_converters == 96
+        assert bom.total_converter_ports == 4 * 64 + 6 * 32
+
+    def test_matches_plant_inventory(self, design8, flattree8):
+        bom = bill_of_materials(design8)
+        assert bom.total_converters == len(flattree8.converters)
+        assert bom.six_port_converters == len(flattree8.six_port_ids())
+
+    def test_side_bundles_match_pairs(self, design8, flattree8):
+        bom = bill_of_materials(design8)
+        assert bom.side_bundles == len(flattree8.pairs)
+
+    def test_line_has_fewer_bundles(self):
+        ring = bill_of_materials(FlatTreeDesign.for_fat_tree(8, ring=True))
+        line = bill_of_materials(FlatTreeDesign.for_fat_tree(8, ring=False))
+        assert line.side_bundles < ring.side_bundles
+        assert line.extra_cables < ring.extra_cables
+
+    def test_odd_d_middle_loses_side_pair(self):
+        bom = bill_of_materials(FlatTreeDesign.for_fat_tree(6))  # d = 3
+        # m=1: 2 usable side columns of 3.
+        assert bom.side_connector_pairs_per_pod == 2
+
+    def test_connector_counts_per_pod(self, design8):
+        bom = bill_of_materials(design8)
+        assert bom.core_connectors_per_pod == 4 * 3
+        assert bom.server_connectors_per_pod == 4 * 3
+
+
+class TestRelativeCost:
+    def test_small_fraction_of_switch_cost(self, design8):
+        """The §2.7 claim, quantified: at a 10:1 port-price ratio the
+        converter add-on is ~7% of the switch-port bill (the converter
+        port count is ~0.7x the switch port count at m=k/8, n=2k/8)."""
+        assert relative_cost(design8) < 0.10
+
+    def test_scales_with_price_ratio(self, design8):
+        cheap = relative_cost(design8, converter_port_price=0.01)
+        pricey = relative_cost(design8, converter_port_price=0.5)
+        assert pricey == pytest.approx(50 * cheap)
+
+    def test_bad_prices_rejected(self, design8):
+        with pytest.raises(ConfigurationError):
+            relative_cost(design8, switch_port_price=0)
+        with pytest.raises(ConfigurationError):
+            relative_cost(design8, converter_port_price=-1)
+
+    def test_grows_with_mn(self):
+        lean = FlatTreeDesign.for_fat_tree(16, m=1, n=1)
+        rich = FlatTreeDesign.for_fat_tree(16, m=2, n=4)
+        assert relative_cost(rich) > relative_cost(lean)

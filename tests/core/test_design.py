@@ -1,0 +1,84 @@
+"""Unit tests for flat-tree design points and the (m, n) grid."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.design import FlatTreeDesign, mn_candidates, paper_round
+from repro.core.wiring import WiringPattern
+from repro.errors import WiringError
+from repro.topology.clos import fat_tree_params
+
+
+class TestPaperRound:
+    def test_half_rounds_up(self):
+        assert paper_round(0.5) == 1
+        assert paper_round(1.5) == 2
+        assert paper_round(2.5) == 3
+
+    def test_plain_rounding(self):
+        assert paper_round(0.49) == 0
+        assert paper_round(1.2) == 1
+        assert paper_round(1.8) == 2
+
+    def test_integers_unchanged(self):
+        assert paper_round(3.0) == 3
+
+
+class TestForFatTree:
+    @pytest.mark.parametrize(
+        "k,m,n",
+        [(4, 1, 1), (8, 1, 2), (16, 2, 4), (24, 3, 6), (32, 4, 8),
+         (10, 1, 3), (20, 3, 5)],
+    )
+    def test_paper_defaults(self, k, m, n):
+        d = FlatTreeDesign.for_fat_tree(k)
+        assert (d.m, d.n) == (m, n)
+        assert d.m + d.n <= k // 2
+
+    def test_explicit_overrides(self):
+        d = FlatTreeDesign.for_fat_tree(8, m=2, n=1,
+                                        pattern=WiringPattern.PATTERN1)
+        assert (d.m, d.n, d.pattern) == (2, 1, WiringPattern.PATTERN1)
+
+    def test_ring_needs_two_pods(self):
+        params = fat_tree_params(8)
+        single = type(params)(pods=1, d=4, r=1, h=4, servers_per_edge=4)
+        with pytest.raises(WiringError):
+            FlatTreeDesign(params=single, m=1, n=1,
+                           pattern=WiringPattern.PATTERN1, ring=True)
+        # A line layout with one Pod is fine (no side bundles at all).
+        FlatTreeDesign(params=single, m=1, n=1,
+                       pattern=WiringPattern.PATTERN1, ring=False)
+
+    def test_budget_validated(self):
+        with pytest.raises(WiringError):
+            FlatTreeDesign.for_fat_tree(8, m=3, n=2)
+
+    def test_wiring_property(self):
+        d = FlatTreeDesign.for_fat_tree(8)
+        w = d.wiring
+        assert w.m == d.m and w.n == d.n and w.pattern == d.pattern
+
+
+class TestMnCandidates:
+    def test_k8_grid(self):
+        grid = mn_candidates(8)
+        # Multiples of 1 with m >= 1, n >= 1, m + n <= 4.
+        assert set(grid) == {(1, 1), (1, 2), (1, 3), (2, 1), (2, 2), (3, 1)}
+
+    def test_budget_respected(self):
+        for k in (4, 6, 8, 16, 32):
+            for m, n in mn_candidates(k):
+                assert m + n <= k // 2
+                assert m >= 1 and n >= 1
+
+    def test_no_duplicates(self):
+        for k in (4, 6, 10, 12):
+            grid = mn_candidates(k)
+            assert len(grid) == len(set(grid))
+
+    def test_k4_has_single_candidate(self):
+        # k/8 = 0.5 -> every multiple rounds to small ints; only (1, 1)
+        # fits m + n <= 2.
+        assert mn_candidates(4) == [(1, 1)]

@@ -1,0 +1,153 @@
+"""Unit tests for failure injection and self-recovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.controller import Controller
+from repro.core.conversion import Mode, convert, mode_configs
+from repro.core.converter import ConverterConfig
+from repro.core.design import FlatTreeDesign
+from repro.core.failures import (
+    FailureSet,
+    Leg,
+    heal,
+    materialize_with_failures,
+    surviving_own_links,
+)
+from repro.core.flattree import FlatTree
+from repro.topology.elements import CoreSwitch
+from repro.topology.stats import is_connected
+
+
+@pytest.fixture()
+def ft():
+    return FlatTree(FlatTreeDesign.for_fat_tree(8))
+
+
+def first_converter(ft, blade="A"):
+    ids = ft.four_port_ids() if blade == "A" else ft.six_port_ids()
+    return sorted(ids)[0]
+
+
+class TestFailureSet:
+    def test_of_legs(self, ft):
+        cid = first_converter(ft)
+        failures = FailureSet.of_legs((cid, Leg.CORE), (cid, Leg.EDGE))
+        assert failures.dead_legs(cid) == {Leg.CORE, Leg.EDGE}
+        assert not failures.is_empty()
+
+    def test_empty(self):
+        assert FailureSet().is_empty()
+
+    def test_switch_failure_kills_cables(self, ft):
+        failures = FailureSet(switches=frozenset({CoreSwitch(0)}))
+        assert failures.cable_dead(CoreSwitch(0), CoreSwitch(1))
+
+
+class TestSurvivingLinks:
+    def test_no_failures_full_links(self, ft):
+        conv = ft.converters[first_converter(ft)]
+        links = surviving_own_links(conv, ConverterConfig.DEFAULT, FailureSet())
+        assert len(links) == 2
+
+    def test_dead_core_leg_kills_ac_circuit(self, ft):
+        cid = first_converter(ft)
+        conv = ft.converters[cid]
+        failures = FailureSet.of_legs((cid, Leg.CORE))
+        links = surviving_own_links(conv, ConverterConfig.DEFAULT, failures)
+        assert links == [("attach", conv.server, conv.edge)]
+
+    def test_dead_edge_leg_strands_server_in_default(self, ft):
+        cid = first_converter(ft)
+        conv = ft.converters[cid]
+        failures = FailureSet.of_legs((cid, Leg.EDGE))
+        links = surviving_own_links(conv, ConverterConfig.DEFAULT, failures)
+        assert all(link[0] != "attach" for link in links)
+        # ... but LOCAL keeps the server alive through the agg leg.
+        links = surviving_own_links(conv, ConverterConfig.LOCAL, failures)
+        assert ("attach", conv.server, conv.agg) in links
+
+
+class TestMaterializeWithFailures:
+    def test_no_failures_matches_materialize(self, ft):
+        ft.set_configs(mode_configs(ft, Mode.GLOBAL_RANDOM))
+        degraded = materialize_with_failures(ft, FailureSet())
+        normal = ft.materialize()
+        assert set(degraded.fabric.edges()) == set(normal.fabric.edges())
+        assert degraded.num_servers == normal.num_servers
+
+    def test_stranded_server_counted(self, ft):
+        cid = first_converter(ft)
+        conv = ft.converters[cid]
+        failures = FailureSet.of_legs((cid, Leg.EDGE))
+        degraded = materialize_with_failures(ft, failures)
+        assert conv.server not in set(degraded.servers())
+
+    def test_dead_switch_removed(self, ft):
+        failures = FailureSet(switches=frozenset({CoreSwitch(3)}))
+        degraded = materialize_with_failures(ft, failures)
+        assert CoreSwitch(3) not in set(degraded.switches())
+        assert is_connected(degraded)
+
+    def test_dead_direct_cable_removed(self, ft):
+        u, v = ft._direct_cables[0]
+        failures = FailureSet(cables=frozenset({frozenset((u, v))}))
+        degraded = materialize_with_failures(ft, failures)
+        normal = ft.materialize()
+        assert degraded.capacity(u, v) == normal.capacity(u, v) - 1
+
+
+class TestHeal:
+    def test_heal_reattaches_server(self, ft):
+        """EDGE leg dies in default config -> healing flips to local."""
+        cid = first_converter(ft)
+        failures = FailureSet.of_legs((cid, Leg.EDGE))
+        assignment = heal(ft, failures)
+        assert assignment[cid] is ConverterConfig.LOCAL
+        ft.set_configs(assignment)
+        degraded = materialize_with_failures(ft, failures)
+        assert ft.converters[cid].server in set(degraded.servers())
+
+    def test_heal_is_stable_without_failures(self, ft):
+        ft.set_configs(mode_configs(ft, Mode.GLOBAL_RANDOM))
+        assignment = heal(ft, FailureSet())
+        assert assignment == ft.configs()
+
+    def test_heal_six_port_side_bundle_cut(self, ft):
+        """A cut side bundle forces the pair off side/cross."""
+        ft.set_configs(mode_configs(ft, Mode.GLOBAL_RANDOM))
+        left, right = ft.pairs[0]
+        failures = FailureSet.of_legs((left, Leg.SIDE))
+        assignment = heal(ft, failures)
+        from repro.core.converter import PAIRED_CONFIGS
+
+        assert assignment[left] not in PAIRED_CONFIGS
+        assert assignment[right] not in PAIRED_CONFIGS
+        ft.set_configs(assignment)  # must be a legal assignment
+
+    def test_heal_keeps_servers_attached_network_wide(self, ft):
+        """Random multi-failure: healing strands no recoverable server."""
+        ft.set_configs(mode_configs(ft, Mode.GLOBAL_RANDOM))
+        victims = sorted(ft.six_port_ids())[:3]
+        failures = FailureSet.of_legs(
+            *[(cid, Leg.CORE) for cid in victims]
+        )
+        ft.set_configs(heal(ft, failures))
+        degraded = materialize_with_failures(ft, failures)
+        # A dead CORE leg still leaves agg/edge legs; every server must
+        # therefore be reattached somewhere.
+        assert degraded.num_servers == ft.params.num_servers
+
+
+class TestControllerRecover:
+    def test_recover_produces_plan_and_reroutes(self):
+        controller = Controller(FlatTree(FlatTreeDesign.for_fat_tree(8)))
+        controller.apply_mode(Mode.GLOBAL_RANDOM)
+        cid = sorted(controller.flattree.six_port_ids())[0]
+        failures = FailureSet.of_legs((cid, Leg.SIDE))
+        plan = controller.recover(failures)
+        assert plan.converter_count >= 2  # the pair moves together
+        degraded = materialize_with_failures(controller.flattree, failures)
+        assert is_connected(degraded)
+        assert degraded.num_servers == controller.flattree.params.num_servers

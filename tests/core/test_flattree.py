@@ -1,0 +1,173 @@
+"""Unit and property tests for the FlatTree plant and materialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.conversion import Mode, convert, mode_configs
+from repro.core.converter import BLADE_A, BLADE_B, ConverterConfig, ConverterId
+from repro.core.design import FlatTreeDesign
+from repro.core.flattree import FlatTree
+from repro.errors import ConfigurationError
+from repro.topology.fattree import build_fat_tree
+from repro.topology.stats import is_connected, server_counts_by_kind
+from repro.topology.validate import assert_same_equipment, assert_valid
+
+
+class TestPlant:
+    def test_converter_inventory(self, flattree8, design8):
+        params = design8.params
+        expected = params.pods * params.d * (design8.m + design8.n)
+        assert len(flattree8.converters) == expected
+        assert len(flattree8.six_port_ids()) == params.pods * params.d * design8.m
+        assert len(flattree8.four_port_ids()) == params.pods * params.d * design8.n
+
+    def test_every_server_owned_once(self, flattree8, design8):
+        owned = [c.server for c in flattree8.converters.values()]
+        direct = [s for s, _sw in flattree8._direct_attaches]
+        together = owned + direct
+        assert sorted(together) == list(range(design8.params.num_servers))
+
+    def test_pairs_are_mutual(self, flattree8):
+        for left, right in flattree8.pairs:
+            assert flattree8.converters[left].peer == right
+            assert flattree8.converters[right].peer == left
+
+    def test_pod_converters(self, flattree8, design8):
+        per_pod = design8.params.d * (design8.m + design8.n)
+        for pod in range(design8.params.pods):
+            assert len(flattree8.pod_converters(pod)) == per_pod
+
+    def test_initial_configs_default(self, flattree8):
+        assert all(
+            c is ConverterConfig.DEFAULT for c in flattree8.configs().values()
+        )
+
+    def test_pod_server_groups(self, flattree8, design8):
+        groups = flattree8.pod_server_groups()
+        assert len(groups) == design8.params.pods
+        assert groups[0][0] == 0
+        assert len(groups[0]) == design8.params.servers_per_pod
+
+
+class TestClosEquivalence:
+    @pytest.mark.parametrize("k", [4, 6, 8, 10, 12])
+    def test_clos_mode_is_exactly_fat_tree(self, k):
+        ft = FlatTree(FlatTreeDesign.for_fat_tree(k))
+        clos = convert(ft, Mode.CLOS)
+        fat = build_fat_tree(k)
+        assert set(clos.fabric.edges()) == set(fat.fabric.edges())
+        assert {s: clos.server_switch(s) for s in clos.servers()} == {
+            s: fat.server_switch(s) for s in fat.servers()
+        }
+
+
+class TestMaterializations:
+    @pytest.mark.parametrize("k", [4, 6, 8, 10, 14])
+    @pytest.mark.parametrize(
+        "mode", [Mode.CLOS, Mode.GLOBAL_RANDOM, Mode.LOCAL_RANDOM]
+    )
+    def test_all_modes_valid_same_equipment(self, k, mode):
+        ft = FlatTree(FlatTreeDesign.for_fat_tree(k))
+        net = convert(ft, mode)
+        assert_valid(net)
+        assert is_connected(net)
+        assert_same_equipment(net, build_fat_tree(k))
+
+    def test_global_mode_server_distribution(self, global8, design8):
+        """m servers/pair to cores, n to aggs, the rest stay at edges.
+
+        k=8 even d means no unpaired middle column, so all m land on
+        cores.
+        """
+        params = design8.params
+        by_kind = server_counts_by_kind(global8)
+        pairs = params.pods * params.d
+        assert by_kind["core"] == pairs * design8.m
+        assert by_kind["agg"] == pairs * design8.n
+        assert by_kind["edge"] == params.num_servers - pairs * (
+            design8.m + design8.n
+        )
+
+    def test_local_mode_half_edge_half_agg(self):
+        """Figure 2d: local mode relocates only blade A servers to aggs."""
+        design = FlatTreeDesign.for_fat_tree(8)
+        net = convert(FlatTree(design), Mode.LOCAL_RANDOM)
+        by_kind = server_counts_by_kind(net)
+        pairs = design.params.pods * design.params.d
+        assert by_kind["agg"] == pairs * design.n
+        assert "core" not in by_kind
+
+    def test_odd_d_middle_column_falls_back(self):
+        """k=6 has d=3: the middle 6-port converters cannot pair."""
+        design = FlatTreeDesign.for_fat_tree(6)
+        ft = FlatTree(design)
+        convert(ft, Mode.GLOBAL_RANDOM)
+        middles = [
+            cid for cid in ft.six_port_ids()
+            if ft.converters[cid].peer is None
+        ]
+        assert middles
+        assert all(cid.edge == 1 for cid in middles)
+        for cid in middles:
+            assert ft.converters[cid].config is ConverterConfig.LOCAL
+
+    def test_line_layout_materializes(self):
+        design = FlatTreeDesign.for_fat_tree(8, ring=False)
+        net = convert(FlatTree(design), Mode.GLOBAL_RANDOM)
+        assert_valid(net)
+
+
+class TestSetConfigs:
+    def test_unknown_converter_rejected(self, flattree8):
+        ghost = ConverterId(99, BLADE_A, 0, 0)
+        with pytest.raises(ConfigurationError):
+            flattree8.set_configs({ghost: ConverterConfig.LOCAL})
+
+    def test_partial_assignment_allowed(self, flattree8):
+        cid = flattree8.four_port_ids()[0]
+        flattree8.set_configs({cid: ConverterConfig.LOCAL})
+        assert flattree8.converters[cid].config is ConverterConfig.LOCAL
+
+    def test_pair_consistency_enforced(self, flattree8):
+        left, _right = flattree8.pairs[0]
+        with pytest.raises(ConfigurationError):
+            flattree8.set_configs({left: ConverterConfig.SIDE})
+
+    def test_failed_assignment_is_atomic(self, flattree8):
+        """An invalid batch must not leave partial state behind."""
+        before = flattree8.configs()
+        good = flattree8.four_port_ids()[0]
+        left, _right = flattree8.pairs[0]
+        with pytest.raises(ConfigurationError):
+            flattree8.set_configs({
+                good: ConverterConfig.LOCAL,
+                left: ConverterConfig.SIDE,  # inconsistent pair
+            })
+        assert flattree8.configs() == before
+
+    def test_diff_configs(self, flattree8):
+        target = mode_configs(flattree8, Mode.LOCAL_RANDOM)
+        diff = flattree8.diff_configs(target)
+        # Only blade A converters change (B stays default in local mode).
+        assert set(diff) == set(flattree8.four_port_ids())
+        for old, new in diff.values():
+            assert old is ConverterConfig.DEFAULT
+            assert new is ConverterConfig.LOCAL
+
+
+class TestRepeatedConversion:
+    def test_round_trip_restores_clos(self):
+        k = 8
+        ft = FlatTree(FlatTreeDesign.for_fat_tree(k))
+        first = convert(ft, Mode.CLOS)
+        convert(ft, Mode.GLOBAL_RANDOM)
+        convert(ft, Mode.LOCAL_RANDOM)
+        back = convert(ft, Mode.CLOS)
+        assert set(first.fabric.edges()) == set(back.fabric.edges())
+
+    def test_materialize_is_pure(self, flattree8):
+        a = flattree8.materialize()
+        b = flattree8.materialize()
+        assert set(a.fabric.edges()) == set(b.fabric.edges())
+        assert a is not b

@@ -1,0 +1,97 @@
+"""Unit tests for inter-Pod side wiring."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.converter import BLADE_B, ConverterConfig
+from repro.core.design import FlatTreeDesign
+from repro.core.interpod import (
+    boundaries,
+    iter_pairs,
+    paired_column,
+    paired_config_for_row,
+)
+
+
+class TestBoundaries:
+    def test_ring_wraps(self):
+        design = FlatTreeDesign.for_fat_tree(8, ring=True)
+        b = boundaries(design)
+        assert len(b) == 8
+        assert (7, 0) in b
+
+    def test_line_does_not_wrap(self):
+        design = FlatTreeDesign.for_fat_tree(8, ring=False)
+        b = boundaries(design)
+        assert len(b) == 7
+        assert (7, 0) not in b
+
+
+class TestPairedColumn:
+    def test_paper_formula(self):
+        # <i, j> left pairs with <i, (d/2 - 1 - j + i) % (d/2)> right.
+        d = 8  # half = 4
+        assert paired_column(d, 0, 0) == 3
+        assert paired_column(d, 0, 3) == 0
+        assert paired_column(d, 1, 0) == 0  # shift by row
+        assert paired_column(d, 2, 1) == 0
+
+    def test_bijection_per_row(self):
+        d = 8
+        for row in range(4):
+            targets = [paired_column(d, row, j) for j in range(4)]
+            assert sorted(targets) == [0, 1, 2, 3]
+
+    def test_odd_d_uses_floor_half(self):
+        d = 5  # half = 2
+        for row in range(3):
+            targets = [paired_column(d, row, j) for j in range(2)]
+            assert sorted(targets) == [0, 1]
+
+
+class TestIterPairs:
+    def test_every_paired_converter_once(self):
+        design = FlatTreeDesign.for_fat_tree(8)  # d=4, half=2, m=1
+        seen = Counter()
+        for left, right in iter_pairs(design):
+            assert left.blade == BLADE_B and right.blade == BLADE_B
+            assert left.row == right.row
+            seen[left] += 1
+            seen[right] += 1
+        # Ring: every 6-port converter participates in exactly one pair.
+        expected = design.params.pods * design.m * design.params.d
+        assert sum(seen.values()) == expected
+        assert all(count == 1 for count in seen.values())
+
+    def test_left_right_side_assignment(self):
+        design = FlatTreeDesign.for_fat_tree(8)
+        d = design.params.d
+        half = d // 2
+        for left, right in iter_pairs(design):
+            assert left.edge < half          # left blade column
+            assert right.edge >= d - half    # right blade column
+
+    def test_adjacent_pods_only(self):
+        design = FlatTreeDesign.for_fat_tree(8)
+        pods = design.params.pods
+        for left, right in iter_pairs(design):
+            assert left.pod == (right.pod + 1) % pods
+
+    def test_line_leaves_end_blades_unpaired(self):
+        design = FlatTreeDesign.for_fat_tree(8, ring=False)
+        paired = set()
+        for left, right in iter_pairs(design):
+            paired.add(left)
+            paired.add(right)
+        # Pod 0's left blade and the last Pod's right blade stay dark.
+        assert not any(c.pod == 0 and c.edge < 2 for c in paired)
+        assert not any(c.pod == 7 and c.edge >= 2 for c in paired)
+
+
+class TestRowParity:
+    def test_even_rows_side_odd_rows_cross(self):
+        assert paired_config_for_row(0) is ConverterConfig.SIDE
+        assert paired_config_for_row(1) is ConverterConfig.CROSS
+        assert paired_config_for_row(2) is ConverterConfig.SIDE
+        assert paired_config_for_row(3) is ConverterConfig.CROSS

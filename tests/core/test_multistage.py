@@ -1,0 +1,125 @@
+"""Unit tests for the two-stage flat-tree composition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.conversion import Mode
+from repro.core.design import FlatTreeDesign
+from repro.core.multistage import (
+    TwoStageDesign,
+    TwoStageFlatTree,
+    UpperCore,
+    UpperEdge,
+    build_two_stage_flat_tree,
+)
+from repro.errors import ConfigurationError
+from repro.topology.fattree import build_fat_tree
+from repro.topology.stats import (
+    average_server_path_length,
+    is_connected,
+    server_counts_by_kind,
+    switch_distances,
+)
+from repro.topology.validate import assert_valid
+
+
+class TestDesignValidation:
+    def test_symmetric_builds(self):
+        design = TwoStageDesign.symmetric(8, 4)
+        assert design.lower.params.num_cores == 16
+        assert design.upper.params.pods * design.upper.params.d == 16
+        assert design.upper.params.servers_per_edge == 8
+
+    def test_core_count_mismatch_rejected(self):
+        lower = FlatTreeDesign.for_fat_tree(8)  # 16 cores
+        upper = FlatTreeDesign.for_fat_tree(4)  # 4 pods x 2 = 8 edges
+        with pytest.raises(ConfigurationError):
+            TwoStageDesign(lower=lower, upper=upper)
+
+    def test_indivisible_pods_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TwoStageDesign.symmetric(8, 3)  # 16 cores % 3 != 0
+
+
+class TestMaterialization:
+    @pytest.mark.parametrize("modes", [
+        (Mode.CLOS, Mode.CLOS),
+        (Mode.GLOBAL_RANDOM, Mode.GLOBAL_RANDOM),
+        (Mode.GLOBAL_RANDOM, Mode.CLOS),
+        (Mode.CLOS, Mode.GLOBAL_RANDOM),
+        (Mode.LOCAL_RANDOM, Mode.LOCAL_RANDOM),
+    ])
+    def test_valid_connected_all_mode_pairs(self, modes):
+        net = build_two_stage_flat_tree(4, 2, *modes)
+        assert_valid(net)
+        assert is_connected(net)
+        assert net.num_servers == 16
+
+    def test_clos_clos_matches_fat_tree_distances(self):
+        """With both layers default, lower-layer server distances are
+        exactly the single-layer fat-tree's (the upper hierarchy exists
+        but shortest paths never need it)."""
+        two = build_two_stage_flat_tree(4, 2, Mode.CLOS, Mode.CLOS)
+        flat = build_fat_tree(4)
+        assert average_server_path_length(two) == pytest.approx(
+            average_server_path_length(flat)
+        )
+
+    def test_conversion_shortens_paths(self):
+        clos = build_two_stage_flat_tree(8, 4, Mode.CLOS, Mode.CLOS)
+        conv = build_two_stage_flat_tree(
+            8, 4, Mode.GLOBAL_RANDOM, Mode.GLOBAL_RANDOM
+        )
+        assert average_server_path_length(conv) < average_server_path_length(
+            clos
+        )
+
+    def test_double_relocation_reaches_top_cores(self):
+        """Lower blade-B servers relocate to upper edges; the upper
+        layer's converters push some of those onward to the top cores —
+        the sketch's 'intermediate Pods take relocated servers'."""
+        net = build_two_stage_flat_tree(
+            8, 4, Mode.GLOBAL_RANDOM, Mode.GLOBAL_RANDOM
+        )
+        by_kind = server_counts_by_kind(net)
+        assert by_kind.get("u-core", 0) > 0
+        assert by_kind.get("u-edge", 0) > 0
+
+    def test_lower_core_namespace_gone(self):
+        net = build_two_stage_flat_tree(4, 2, Mode.CLOS, Mode.CLOS)
+        kinds = {s.kind for s in net.switches()}
+        assert "core" not in kinds
+        assert {"u-edge", "u-agg", "u-core"} <= kinds
+
+    def test_equipment_constant_across_modes(self):
+        from repro.topology.elements import equipment_signature
+
+        nets = [
+            build_two_stage_flat_tree(4, 2, lo, up)
+            for lo, up in (
+                (Mode.CLOS, Mode.CLOS),
+                (Mode.GLOBAL_RANDOM, Mode.GLOBAL_RANDOM),
+                (Mode.LOCAL_RANDOM, Mode.CLOS),
+            )
+        ]
+        signatures = {equipment_signature(n) for n in nets}
+        assert len(signatures) == 1
+
+
+class TestSlots:
+    def test_slot_ids_dense(self):
+        plant = TwoStageFlatTree(TwoStageDesign.symmetric(4, 2))
+        lo = plant.design.lower.params
+        ids = {
+            plant.slot_id(c, p)
+            for c in range(lo.num_cores)
+            for p in range(lo.pods)
+        }
+        assert ids == set(range(lo.num_cores * lo.pods))
+
+    def test_pod_server_groups_are_lower_layer(self):
+        plant = TwoStageFlatTree(TwoStageDesign.symmetric(4, 2))
+        groups = plant.pod_server_groups()
+        assert len(groups) == 4
+        assert plant.num_servers == 16

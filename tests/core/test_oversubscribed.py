@@ -1,0 +1,116 @@
+"""Flat-tree over oversubscribed Clos plants (r > 1).
+
+The paper: "flat-tree targets at converting generic, especially
+oversubscribed, Clos networks" (§3.1) even though its evaluation uses
+fat-tree.  These tests run the full conversion machinery on 2:1 and 3:1
+oversubscribed layouts, where one aggregation switch serves several
+edge switches — the arithmetic the ``r`` parameter exists for.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.conversion import Mode, convert
+from repro.core.design import FlatTreeDesign
+from repro.core.flattree import FlatTree
+from repro.core.wiring import WiringPattern, profiled_pattern
+from repro.errors import WiringError
+from repro.topology.clos import ClosParams, build_clos
+from repro.topology.stats import (
+    average_server_path_length,
+    is_connected,
+    server_counts_by_kind,
+)
+from repro.topology.validate import assert_same_equipment, assert_valid
+
+
+def oversubscribed_design(r=2, m=1, n=1):
+    params = ClosParams(pods=6, d=4, r=r, h=4, servers_per_edge=4)
+    return FlatTreeDesign(
+        params=params,
+        m=m,
+        n=n,
+        pattern=profiled_pattern(params, m),
+        ring=True,
+    )
+
+
+class TestOversubscribedPlant:
+    def test_plant_builds(self):
+        ft = FlatTree(oversubscribed_design())
+        params = ft.params
+        assert len(ft.converters) == params.pods * params.d * 2
+
+    def test_converters_share_aggs(self):
+        """With r = 2, edge 0 and edge 1 pair with the same agg."""
+        ft = FlatTree(oversubscribed_design())
+        by_edge = {}
+        for conv in ft.converters.values():
+            by_edge.setdefault(conv.cid.edge, set()).add(conv.agg)
+        assert by_edge[0] == by_edge[1]
+        assert by_edge[2] == by_edge[3]
+        assert by_edge[0] != by_edge[2]
+
+    @pytest.mark.parametrize(
+        "mode", [Mode.CLOS, Mode.GLOBAL_RANDOM, Mode.LOCAL_RANDOM]
+    )
+    def test_all_modes_materialize(self, mode):
+        ft = FlatTree(oversubscribed_design())
+        net = convert(ft, mode)
+        assert_valid(net)
+        assert is_connected(net)
+
+    def test_clos_mode_matches_clos_builder(self):
+        design = oversubscribed_design()
+        clos = convert(FlatTree(design), Mode.CLOS)
+        reference = build_clos(design.params)
+        assert set(clos.fabric.edges()) == set(reference.fabric.edges())
+        assert_same_equipment(clos, reference)
+
+    def test_conversion_helps_oversubscribed_apl(self):
+        """The paper's motivation: conversion pays *more* when the Clos
+        is oversubscribed (fewer uplinks to share)."""
+        design = oversubscribed_design()
+        clos = convert(FlatTree(design), Mode.CLOS)
+        glob = convert(FlatTree(design), Mode.GLOBAL_RANDOM)
+        assert average_server_path_length(glob) < average_server_path_length(
+            clos
+        )
+
+    def test_global_mode_server_relocation(self):
+        design = oversubscribed_design()
+        net = convert(FlatTree(design), Mode.GLOBAL_RANDOM)
+        by_kind = server_counts_by_kind(net)
+        pairs = design.params.pods * design.params.d
+        assert by_kind["core"] == pairs * design.m
+        assert by_kind["agg"] == pairs * design.n
+
+    def test_r3_layout(self):
+        params = ClosParams(pods=4, d=3, r=3, h=3, servers_per_edge=3)
+        design = FlatTreeDesign(
+            params=params, m=0, n=1,
+            pattern=WiringPattern.PATTERN1, ring=True,
+        )
+        net = convert(FlatTree(design), Mode.GLOBAL_RANDOM)
+        assert_valid(net)
+        assert is_connected(net)
+
+    def test_budget_violation_rejected(self):
+        with pytest.raises(WiringError):
+            oversubscribed_design(m=2, n=1)  # m + n > h/r = 2
+
+
+class TestOversubscribedThroughput:
+    def test_conversion_raises_hotspot_capacity(self):
+        """End to end on the oversubscribed plant: global mode lifts the
+        broadcast hot-spot throughput above Clos mode's."""
+        from repro.experiments.common import throughput_of
+        from repro.mcf.commodities import Commodity
+
+        design = oversubscribed_design()
+        clos = convert(FlatTree(design), Mode.CLOS)
+        glob = convert(FlatTree(design), Mode.GLOBAL_RANDOM)
+        servers = design.params.num_servers
+        workload = [Commodity(0, s) for s in range(1, servers)]
+        assert throughput_of(glob, workload) > throughput_of(clos, workload)

@@ -1,0 +1,69 @@
+"""Unit tests for Pod blade geometry."""
+
+from __future__ import annotations
+
+from repro.core.design import FlatTreeDesign
+from repro.core.pod import (
+    PodSide,
+    blade_a_server_slot,
+    blade_b_server_slot,
+    direct_server_slots,
+    half_width,
+    left_columns,
+    middle_column,
+    right_columns,
+    side_of_edge,
+)
+
+
+class TestSides:
+    def test_even_d_split(self):
+        # d = 4: edges 0,1 left; 2,3 right; no middle.
+        assert left_columns(4) == [0, 1]
+        assert right_columns(4) == [2, 3]
+        assert middle_column(4) is None
+        assert side_of_edge(4, 0) is PodSide.LEFT
+        assert side_of_edge(4, 3) is PodSide.RIGHT
+
+    def test_odd_d_middle(self):
+        # d = 5: edges 0,1 left; 3,4 right; 2 is the unpaired middle.
+        assert left_columns(5) == [0, 1]
+        assert right_columns(5) == [3, 4]
+        assert middle_column(5) == 2
+        assert side_of_edge(5, 2) is PodSide.MIDDLE
+
+    def test_half_width(self):
+        assert half_width(4) == 2
+        assert half_width(5) == 2
+        assert half_width(3) == 1
+
+    def test_d2_minimal(self):
+        assert left_columns(2) == [0]
+        assert right_columns(2) == [1]
+        assert middle_column(2) is None
+
+
+class TestServerSlots:
+    def test_blade_b_slots_first(self):
+        assert blade_b_server_slot(0) == 0
+        assert blade_b_server_slot(2) == 2
+
+    def test_blade_a_slots_after_b(self):
+        design = FlatTreeDesign.for_fat_tree(16)  # m=2, n=4
+        assert blade_a_server_slot(design, 0) == 2
+        assert blade_a_server_slot(design, 3) == 5
+
+    def test_direct_slots_are_remainder(self):
+        design = FlatTreeDesign.for_fat_tree(16)  # servers_per_edge = 8
+        assert list(direct_server_slots(design)) == [6, 7]
+
+    def test_slot_partition_complete(self):
+        """B rows, A rows and direct slots partition the edge's servers."""
+        design = FlatTreeDesign.for_fat_tree(8)
+        slots = set()
+        for row in range(design.m):
+            slots.add(blade_b_server_slot(row))
+        for row in range(design.n):
+            slots.add(blade_a_server_slot(design, row))
+        slots.update(direct_server_slots(design))
+        assert slots == set(range(design.params.servers_per_edge))

@@ -1,0 +1,64 @@
+"""Unit tests for the (m, n) profiling scheme."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.design import FlatTreeDesign
+from repro.core.profiling import profile_mn, profiled_design
+from repro.errors import WiringError
+from repro.topology.clos import fat_tree_params
+
+
+class TestProfileMn:
+    def test_best_is_minimum(self):
+        result = profile_mn(fat_tree_params(8))
+        best_apl = result.best.average_path_length
+        assert all(p.average_path_length >= best_apl for p in result.points)
+
+    def test_grid_skips_infeasible(self):
+        # Explicit grid with an infeasible point (m + n > k/2 at k=8).
+        result = profile_mn(fat_tree_params(8), candidates=[(1, 1), (3, 3)])
+        assert [(p.m, p.n) for p in result.points] == [(1, 1)]
+
+    def test_all_infeasible_raises(self):
+        with pytest.raises(WiringError):
+            profile_mn(fat_tree_params(8), candidates=[(4, 4)])
+
+    def test_rows_mark_best(self):
+        result = profile_mn(fat_tree_params(8), candidates=[(1, 1), (1, 2)])
+        rows = result.as_rows()
+        assert sum(1 for r in rows if r["best"]) == 1
+        assert {"m", "n", "pattern", "apl", "best"} <= set(rows[0])
+
+    def test_custom_candidates_respected(self):
+        result = profile_mn(fat_tree_params(8), candidates=[(2, 2)])
+        assert (result.best.m, result.best.n) == (2, 2)
+
+
+class TestProfiledDesign:
+    def test_matches_profile_best(self):
+        params = fat_tree_params(8)
+        result = profile_mn(params)
+        design = profiled_design(params)
+        assert (design.m, design.n) == (result.best.m, result.best.n)
+        assert design.pattern == result.best.pattern
+
+    def test_profiled_design_near_paper_choice(self):
+        """The profiled APL should not beat the paper's (k/8, 2k/8) by
+        much — they are the same optimization, modulo rotation details."""
+        from repro.core.conversion import Mode, convert
+        from repro.core.flattree import FlatTree
+        from repro.topology.stats import average_server_path_length
+
+        params = fat_tree_params(8)
+        design = profiled_design(params)
+        profiled_apl = average_server_path_length(
+            convert(FlatTree(design), Mode.GLOBAL_RANDOM)
+        )
+        paper = FlatTreeDesign.for_fat_tree(8)
+        paper_apl = average_server_path_length(
+            convert(FlatTree(paper), Mode.GLOBAL_RANDOM)
+        )
+        assert profiled_apl <= paper_apl * 1.001
+        assert paper_apl <= profiled_apl * 1.10

@@ -1,0 +1,129 @@
+"""Unit tests for reconfiguration scheduling and disruption."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.controller import Controller
+from repro.core.conversion import Mode
+from repro.core.design import FlatTreeDesign
+from repro.core.flattree import FlatTree
+from repro.core.reconfigure import (
+    MACH_ZEHNDER,
+    MEMS_OPTICAL,
+    PACKET_CHIP,
+    Technology,
+    disruption,
+    schedule,
+)
+from repro.errors import ConfigurationError
+from repro.routing.base import Path
+from repro.topology.elements import AggSwitch, CoreSwitch, EdgeSwitch
+from repro.topology.stats import is_connected
+
+
+@pytest.fixture()
+def converted():
+    """A controller plus the plan of a full Clos -> global conversion."""
+    controller = Controller(FlatTree(FlatTreeDesign.for_fat_tree(8)))
+    before = controller.network
+    plan = controller.apply_mode(Mode.GLOBAL_RANDOM)
+    return controller, before, plan
+
+
+class TestTechnology:
+    def test_profiles_exist(self):
+        for tech in (MEMS_OPTICAL, MACH_ZEHNDER, PACKET_CHIP):
+            assert tech.switch_delay >= 0
+            assert tech.control_overhead >= 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Technology("bad", switch_delay=-1, control_overhead=0)
+
+
+class TestSchedule:
+    def test_covers_every_converter_once(self, converted):
+        _controller, before, plan = converted
+        sched = schedule(plan, before)
+        scheduled = [cid for batch in sched.batches for cid in batch]
+        assert sorted(scheduled) == sorted(plan.config_changes)
+
+    def test_batches_respect_cap(self, converted):
+        _controller, before, plan = converted
+        sched = schedule(plan, before, max_batch=10)
+        assert all(len(batch) <= 10 for batch in sched.batches)
+        assert sched.num_batches >= len(plan.config_changes) // 10
+
+    def test_times_scale_with_batches(self, converted):
+        _controller, before, plan = converted
+        small = schedule(plan, before, max_batch=8)
+        large = schedule(plan, before, max_batch=64)
+        assert small.total_time > large.total_time
+        assert small.blink_window == large.blink_window
+
+    def test_technology_changes_times(self, converted):
+        _controller, before, plan = converted
+        mems = schedule(plan, before, technology=MEMS_OPTICAL)
+        mzi = schedule(plan, before, technology=MACH_ZEHNDER)
+        assert mzi.blink_window < mems.blink_window
+        assert mzi.total_time < mems.total_time
+
+    def test_noop_plan_empty_schedule(self, converted):
+        controller, _before, _plan = converted
+        noop = controller.apply_mode(Mode.GLOBAL_RANDOM)
+        sched = schedule(noop, controller.network)
+        assert sched.num_batches == 0
+        assert sched.total_time == 0.0
+
+    def test_batches_never_partition_network(self, converted):
+        """Re-verify the schedule's own invariant independently."""
+        _controller, before, plan = converted
+        sched = schedule(plan, before, max_batch=16)
+        from repro.core.reconfigure import _links_by_converter
+
+        dark = _links_by_converter(plan)
+        for batch in sched.batches:
+            scratch = before.copy()
+            for cid in batch:
+                for u, v in dark.get(cid, []):
+                    if scratch.capacity(u, v) > 0:
+                        scratch.remove_cable(u, v)
+            assert is_connected(scratch)
+
+    def test_summary_readable(self, converted):
+        _controller, before, plan = converted
+        text = schedule(plan, before).summary()
+        assert "batches" in text and "ms" in text
+
+    def test_bad_batch_cap(self, converted):
+        _controller, before, plan = converted
+        with pytest.raises(ConfigurationError):
+            schedule(plan, before, max_batch=0)
+
+
+class TestDisruption:
+    def test_counts_paths_over_dark_links(self, converted):
+        _controller, _before, plan = converted
+        u, v = plan.links_removed[0]
+        hit = (1, Path((u, v)))
+        # A same-Pod edge-agg hop never blinks (bipartite links are
+        # static in every mode).
+        miss = (2, Path((EdgeSwitch(0, 0), AggSwitch(0, 0))))
+        assert disruption(plan, [hit, miss]) == pytest.approx(0.5)
+
+    def test_empty_flows_rejected(self, converted):
+        _controller, _before, plan = converted
+        with pytest.raises(ConfigurationError):
+            disruption(plan, [])
+
+    def test_full_conversion_disrupts_core_paths(self, converted):
+        """Most agg-core circuits blink in a full conversion."""
+        _controller, before, plan = converted
+        flows = []
+        fid = 0
+        for core in list(before.switches_of_kind("core"))[:8]:
+            for nbr in before.fabric[core]:
+                flows.append((fid, Path((nbr, core))))
+                fid += 1
+        assert disruption(plan, flows) > 0.5

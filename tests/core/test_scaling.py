@@ -1,0 +1,86 @@
+"""Unit tests for elastic downscaling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.conversion import Mode, convert
+from repro.core.design import FlatTreeDesign
+from repro.core.flattree import FlatTree
+from repro.core.scaling import DownscalePlan, apply_sleep, downscale_plan
+from repro.errors import ConfigurationError
+from repro.mcf.commodities import Commodity
+from repro.topology.elements import CoreSwitch
+from repro.topology.fattree import build_fat_tree
+
+
+@pytest.fixture(scope="module")
+def fat4():
+    return build_fat_tree(4)
+
+
+@pytest.fixture(scope="module")
+def light_workload():
+    # A couple of cross-pod pairs: far below full capacity.
+    return [Commodity(0, 15), Commodity(4, 12)]
+
+
+class TestApplySleep:
+    def test_removes_all_cables(self, fat4):
+        pruned = apply_sleep(fat4, [CoreSwitch(0)])
+        assert pruned.degree(CoreSwitch(0)) == 0
+        assert fat4.degree(CoreSwitch(0)) == 4  # original untouched
+
+    def test_rejects_server_hosting_switch(self):
+        net = convert(
+            FlatTree(FlatTreeDesign.for_fat_tree(8)), Mode.GLOBAL_RANDOM
+        )
+        hosting = next(
+            s for s in net.switches_of_kind("core") if net.server_count(s)
+        )
+        with pytest.raises(ConfigurationError):
+            apply_sleep(net, [hosting])
+
+
+class TestDownscalePlan:
+    def test_sleeps_cores_under_light_load(self, fat4, light_workload):
+        plan = downscale_plan(
+            fat4, light_workload, min_throughput_fraction=0.5
+        )
+        assert plan.cores_slept >= 1
+        assert plan.achieved_throughput >= 0.5 * plan.baseline_throughput
+        assert "sleeping" in plan.summary()
+
+    def test_floor_one_keeps_everything_or_free_cores(self, fat4, light_workload):
+        plan = downscale_plan(
+            fat4, light_workload, min_throughput_fraction=1.0, max_sleeping=2
+        )
+        # Any sleeping core must have been throughput-free.
+        assert plan.achieved_throughput >= plan.baseline_throughput - 1e-9
+
+    def test_max_sleeping_respected(self, fat4, light_workload):
+        plan = downscale_plan(
+            fat4, light_workload, min_throughput_fraction=0.1, max_sleeping=1
+        )
+        assert plan.cores_slept <= 1
+
+    def test_bad_floor_rejected(self, fat4, light_workload):
+        with pytest.raises(ConfigurationError):
+            downscale_plan(fat4, light_workload, min_throughput_fraction=0.0)
+
+    def test_pruned_network_verifies(self, fat4, light_workload):
+        from repro.experiments.common import throughput_of
+
+        plan = downscale_plan(
+            fat4, light_workload, min_throughput_fraction=0.5
+        )
+        pruned = apply_sleep(fat4, plan.sleeping)
+        assert throughput_of(pruned, light_workload) == pytest.approx(
+            plan.achieved_throughput
+        )
+
+    def test_summary_when_nothing_sleeps(self):
+        plan = DownscalePlan(
+            sleeping=(), baseline_throughput=1.0, achieved_throughput=1.0
+        )
+        assert "no core switch" in plan.summary()

@@ -1,0 +1,94 @@
+"""Unit tests for controller-state serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.conversion import Mode, mode_configs
+from repro.core.design import FlatTreeDesign
+from repro.core.flattree import FlatTree
+from repro.core.state import (
+    configs_from_dict,
+    configs_to_dict,
+    design_from_dict,
+    design_to_dict,
+    load_state,
+    save_state,
+)
+from repro.core.wiring import WiringPattern
+from repro.errors import ConfigurationError
+
+
+class TestDesignRoundTrip:
+    def test_round_trip_exact(self):
+        design = FlatTreeDesign.for_fat_tree(8, ring=False)
+        restored = design_from_dict(design_to_dict(design))
+        assert restored == design
+
+    def test_json_serializable(self):
+        design = FlatTreeDesign.for_fat_tree(6)
+        text = json.dumps(design_to_dict(design))
+        assert design_from_dict(json.loads(text)) == design
+
+    def test_bad_version_rejected(self):
+        data = design_to_dict(FlatTreeDesign.for_fat_tree(8))
+        data["version"] = 99
+        with pytest.raises(ConfigurationError):
+            design_from_dict(data)
+
+    def test_malformed_rejected(self):
+        data = design_to_dict(FlatTreeDesign.for_fat_tree(8))
+        del data["params"]
+        with pytest.raises(ConfigurationError):
+            design_from_dict(data)
+
+    def test_invalid_values_rejected(self):
+        data = design_to_dict(FlatTreeDesign.for_fat_tree(8))
+        data["m"] = 99  # violates the converter budget
+        with pytest.raises(Exception):
+            design_from_dict(data)
+
+
+class TestConfigRoundTrip:
+    def test_round_trip_preserves_assignment(self, flattree8):
+        flattree8.set_configs(mode_configs(flattree8, Mode.GLOBAL_RANDOM))
+        snapshot = configs_to_dict(flattree8)
+        other = FlatTree(flattree8.design)
+        configs_from_dict(other, snapshot)
+        assert other.configs() == flattree8.configs()
+
+    def test_missing_converters_rejected(self, flattree8):
+        snapshot = configs_to_dict(flattree8)
+        key = next(iter(snapshot["configs"]))
+        del snapshot["configs"][key]
+        with pytest.raises(ConfigurationError, match="misses"):
+            configs_from_dict(FlatTree(flattree8.design), snapshot)
+
+    def test_bad_config_value_rejected(self, flattree8):
+        snapshot = configs_to_dict(flattree8)
+        key = next(iter(snapshot["configs"]))
+        snapshot["configs"][key] = "upside-down"
+        with pytest.raises(ConfigurationError):
+            configs_from_dict(FlatTree(flattree8.design), snapshot)
+
+
+class TestFileRoundTrip:
+    def test_save_and_load(self, flattree8, tmp_path):
+        flattree8.set_configs(mode_configs(flattree8, Mode.LOCAL_RANDOM))
+        path = tmp_path / "state.json"
+        save_state(flattree8, str(path))
+        restored = load_state(str(path))
+        assert restored.design == flattree8.design
+        assert restored.configs() == flattree8.configs()
+        # The restored plant materializes the identical topology.
+        a = flattree8.materialize()
+        b = restored.materialize()
+        assert set(a.fabric.edges()) == set(b.fabric.edges())
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "state.json"
+        path.write_text('{"design": {}}')
+        with pytest.raises(ConfigurationError):
+            load_state(str(path))

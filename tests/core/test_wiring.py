@@ -1,0 +1,172 @@
+"""Unit and property tests for Pod-core wiring patterns."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.wiring import (
+    PodCoreWiring,
+    Slot,
+    WiringPattern,
+    clos_wiring,
+    coverage_is_uniform,
+    pattern_is_degenerate,
+    pattern_step,
+    profiled_pattern,
+    recommended_pattern,
+    recommended_pattern_for_k,
+    rotation_diversity,
+    safe_pattern,
+)
+from repro.errors import WiringError
+from repro.topology.clos import ClosParams, fat_tree_params
+
+
+def wiring(k=8, m=1, n=2, pattern=WiringPattern.PATTERN1):
+    return PodCoreWiring(fat_tree_params(k), m, n, pattern)
+
+
+class TestValidation:
+    def test_mn_budget_group_size(self):
+        with pytest.raises(WiringError):
+            wiring(k=8, m=3, n=2)  # 5 > h/r = 4
+
+    def test_mn_budget_servers(self):
+        params = ClosParams(pods=2, d=2, r=1, h=4, servers_per_edge=2)
+        with pytest.raises(WiringError):
+            PodCoreWiring(params, 2, 1, WiringPattern.PATTERN1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(WiringError):
+            wiring(m=-1)
+
+    def test_position_out_of_range(self):
+        w = wiring()
+        with pytest.raises(WiringError):
+            w.core_for(0, 0, 4)
+
+
+class TestRotation:
+    def test_pattern1_step_is_m(self):
+        w = wiring(k=8, m=1, pattern=WiringPattern.PATTERN1)
+        assert [w.rotation_offset(p) for p in range(5)] == [0, 1, 2, 3, 0]
+
+    def test_pattern2_step_is_m_plus_1(self):
+        w = wiring(k=8, m=1, pattern=WiringPattern.PATTERN2)
+        assert [w.rotation_offset(p) for p in range(5)] == [0, 2, 0, 2, 0]
+
+    def test_pattern_step_helper(self):
+        assert pattern_step(3, WiringPattern.PATTERN1) == 3
+        assert pattern_step(3, WiringPattern.PATTERN2) == 4
+
+
+class TestSlots:
+    def test_slot_kinds_blocks(self):
+        w = wiring(k=8, m=1, n=2)
+        kinds = [w.slot_kind(t) for t in range(4)]
+        assert kinds == [Slot.BLADE_B, Slot.BLADE_A, Slot.BLADE_A, Slot.AGG]
+
+    def test_slots_rows_within_kind(self):
+        w = wiring(k=8, m=1, n=2)
+        rows = {(kind, row) for kind, row, _core in w.slots(0, 0)}
+        assert (Slot.BLADE_B, 0) in rows
+        assert (Slot.BLADE_A, 0) in rows
+        assert (Slot.BLADE_A, 1) in rows
+        assert (Slot.AGG, 0) in rows
+
+    def test_cores_stay_in_group(self):
+        w = wiring(k=8, m=1, n=2)
+        for pod in range(8):
+            for edge in range(4):
+                group = set(w.params.core_group(edge))
+                for _kind, _row, core in w.slots(pod, edge):
+                    assert core.index in group
+
+    def test_clos_wiring_all_agg(self):
+        w = clos_wiring(fat_tree_params(8))
+        kinds = {kind for kind, _r, _c in w.slots(0, 0)}
+        assert kinds == {Slot.AGG}
+
+
+@st.composite
+def wiring_cases(draw):
+    k = draw(st.sampled_from([4, 6, 8, 10, 12, 16]))
+    params = fat_tree_params(k)
+    gs = params.group_size
+    m = draw(st.integers(min_value=0, max_value=min(gs, params.servers_per_edge)))
+    n = draw(st.integers(min_value=0, max_value=min(gs, params.servers_per_edge) - m))
+    pattern = draw(st.sampled_from(list(WiringPattern)))
+    return params, m, n, pattern
+
+
+@given(wiring_cases())
+def test_property_each_pod_edge_covers_group_once(case):
+    """Every (pod, edge) hits each core of its group exactly once.
+
+    This is what makes Clos mode exactly the original fat-tree: the
+    rotated positions form a bijection onto the group.
+    """
+    params, m, n, pattern = case
+    w = PodCoreWiring(params, m, n, pattern)
+    for pod in (0, params.pods - 1):
+        for edge in (0, params.d - 1):
+            cores = [c.index for _k, _r, c in w.slots(pod, edge)]
+            assert sorted(cores) == list(params.core_group(edge))
+
+
+@given(wiring_cases())
+def test_property_pattern1_uniform_coverage(case):
+    """Pattern 1's blade B blocks cover group positions uniformly."""
+    params, m, n, _pattern = case
+    assert coverage_is_uniform(params, m, WiringPattern.PATTERN1)
+
+
+class TestPatternSelection:
+    def test_paper_rule(self):
+        assert recommended_pattern_for_k(8) is WiringPattern.PATTERN2
+        assert recommended_pattern_for_k(6) is WiringPattern.PATTERN1
+        assert recommended_pattern_for_k(12) is WiringPattern.PATTERN2
+
+    def test_generic_rule(self):
+        params = fat_tree_params(8)  # h/r = 4
+        assert recommended_pattern(params, 2) is WiringPattern.PATTERN2
+        assert recommended_pattern(params, 3) is WiringPattern.PATTERN1
+        assert recommended_pattern(params, 0) is WiringPattern.PATTERN1
+
+    def test_degeneracy_detection(self):
+        params = fat_tree_params(4)  # h/r = 2
+        assert pattern_is_degenerate(params, 1, WiringPattern.PATTERN2)
+        assert not pattern_is_degenerate(params, 1, WiringPattern.PATTERN1)
+        assert not pattern_is_degenerate(params, 0, WiringPattern.PATTERN2)
+
+    def test_safe_pattern_falls_back(self):
+        params = fat_tree_params(4)
+        assert (
+            safe_pattern(params, 1, WiringPattern.PATTERN2)
+            is WiringPattern.PATTERN1
+        )
+
+    def test_safe_pattern_keeps_good_choice(self):
+        params = fat_tree_params(8)
+        assert (
+            safe_pattern(params, 1, WiringPattern.PATTERN2)
+            is WiringPattern.PATTERN2
+        )
+
+    def test_profiled_pattern_prefers_uniform(self):
+        # k=8, m=1: pattern 2 is non-uniform (gcd(2,4)=2 > m) -> pattern 1.
+        assert profiled_pattern(fat_tree_params(8), 1) is WiringPattern.PATTERN1
+        # k=16, m=2: pattern 2 uniform with diversity 8 vs pattern 1's 4.
+        assert profiled_pattern(fat_tree_params(16), 2) is WiringPattern.PATTERN2
+
+    def test_rotation_diversity(self):
+        params = fat_tree_params(16)  # h/r = 8
+        assert rotation_diversity(params, 2, WiringPattern.PATTERN1) == 4
+        assert rotation_diversity(params, 2, WiringPattern.PATTERN2) == 8
+
+    def test_no_usable_pattern_raises(self):
+        params = ClosParams(pods=2, d=2, r=1, h=1, servers_per_edge=2)
+        with pytest.raises(WiringError):
+            profiled_pattern(params, 1)

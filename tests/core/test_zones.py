@@ -1,0 +1,101 @@
+"""Unit tests for hybrid-mode zone layouts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.conversion import Mode
+from repro.core.zones import (
+    Zone,
+    ZoneLayout,
+    proportional_layout,
+    uniform_layout,
+)
+from repro.errors import ConfigurationError
+from repro.topology.clos import fat_tree_params
+
+
+class TestZone:
+    def test_empty_zone_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Zone("z", Mode.CLOS, ())
+
+    def test_repeated_pods_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Zone("z", Mode.CLOS, (1, 1))
+
+
+class TestZoneLayout:
+    def test_partition_enforced(self, params8):
+        with pytest.raises(ConfigurationError):
+            ZoneLayout(
+                params=params8,
+                zones=(Zone("a", Mode.CLOS, (0, 1)),),  # pods 2..7 missing
+            )
+
+    def test_overlap_rejected(self, params8):
+        with pytest.raises(ConfigurationError):
+            ZoneLayout(
+                params=params8,
+                zones=(
+                    Zone("a", Mode.CLOS, tuple(range(5))),
+                    Zone("b", Mode.CLOS, tuple(range(4, 8))),
+                ),
+            )
+
+    def test_duplicate_names_rejected(self, params8):
+        with pytest.raises(ConfigurationError):
+            ZoneLayout(
+                params=params8,
+                zones=(
+                    Zone("a", Mode.CLOS, (0, 1, 2, 3)),
+                    Zone("a", Mode.CLOS, (4, 5, 6, 7)),
+                ),
+            )
+
+    def test_pod_modes(self, params8):
+        layout = proportional_layout(params8, 0.5)
+        modes = layout.pod_modes()
+        assert sum(1 for m in modes.values() if m is Mode.GLOBAL_RANDOM) == 4
+        assert sum(1 for m in modes.values() if m is Mode.LOCAL_RANDOM) == 4
+
+    def test_zone_servers(self, params8):
+        layout = proportional_layout(params8, 0.25)
+        servers = layout.zone_servers("global")
+        assert len(servers) == 2 * params8.servers_per_pod
+        assert servers[0] == 0
+
+    def test_zone_lookup_error(self, params8):
+        layout = proportional_layout(params8, 0.5)
+        with pytest.raises(ConfigurationError):
+            layout.zone("nope")
+
+    def test_zone_pod_groups(self, params8):
+        layout = proportional_layout(params8, 0.5)
+        groups = layout.zone_pod_groups("local")
+        assert len(groups) == 4
+        assert list(groups[0]) == list(params8.pod_servers(4))
+
+
+class TestProportionalLayout:
+    def test_rounding(self, params8):
+        layout = proportional_layout(params8, 0.3)  # 2.4 -> 2 pods
+        assert len(layout.zone("global").pods) == 2
+
+    def test_empty_zone_fractions_rejected(self, params8):
+        with pytest.raises(ConfigurationError):
+            proportional_layout(params8, 0.01)
+        with pytest.raises(ConfigurationError):
+            proportional_layout(params8, 0.99)
+
+    def test_contiguous_slices(self, params8):
+        layout = proportional_layout(params8, 0.5)
+        assert layout.zone("global").pods == (0, 1, 2, 3)
+        assert layout.zone("local").pods == (4, 5, 6, 7)
+
+
+class TestUniformLayout:
+    def test_single_zone(self, params8):
+        layout = uniform_layout(params8, Mode.GLOBAL_RANDOM)
+        assert len(layout.zones) == 1
+        assert set(layout.pod_modes().values()) == {Mode.GLOBAL_RANDOM}

@@ -1,0 +1,51 @@
+"""Unit tests for the link-failure degradation experiment."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.degradation import degrade, run_degradation
+from repro.topology.fattree import build_fat_tree
+
+
+class TestDegrade:
+    def test_removes_requested_fraction(self, fat8):
+        degraded = degrade(fat8, 0.25, random.Random(0))
+        assert degraded.num_cables == fat8.num_cables - 64
+
+    def test_zero_fraction_identity(self, fat8):
+        degraded = degrade(fat8, 0.0, random.Random(0))
+        assert set(degraded.fabric.edges()) == set(fat8.fabric.edges())
+
+    def test_original_untouched(self, fat8):
+        before = fat8.num_cables
+        degrade(fat8, 0.5, random.Random(0))
+        assert fat8.num_cables == before
+
+    def test_bad_fraction_rejected(self, fat8):
+        with pytest.raises(ReproError):
+            degrade(fat8, 1.0, random.Random(0))
+        with pytest.raises(ReproError):
+            degrade(fat8, -0.1, random.Random(0))
+
+    def test_seeded_determinism(self):
+        net = build_fat_tree(4)
+        a = degrade(net, 0.2, random.Random(7))
+        b = degrade(net, 0.2, random.Random(7))
+        assert set(a.fabric.edges()) == set(b.fabric.edges())
+
+
+class TestRunDegradation:
+    def test_normalized_and_ordered(self):
+        result = run_degradation(k=4, fractions=(0.0, 0.2), draws=2, seed=1)
+        for series in result.series:
+            assert series.points[0.0] == pytest.approx(1.0)
+            assert 0.0 <= series.points[0.2] <= 1.0 + 1e-9
+
+    def test_all_topologies_present(self):
+        result = run_degradation(k=4, fractions=(0.0,), draws=1)
+        labels = {s.label for s in result.series}
+        assert labels == {"fat-tree", "flat-tree", "random graph"}

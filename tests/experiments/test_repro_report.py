@@ -1,0 +1,60 @@
+"""Unit tests for the one-command reproduction report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import (
+    Report,
+    ReportScale,
+    generate_report,
+    write_report,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    return generate_report(scale=ReportScale.quick(), seed=0, stamp=False)
+
+
+class TestScales:
+    def test_presets_distinct(self):
+        assert ReportScale.quick().apl_ks != ReportScale.standard().apl_ks
+        assert ReportScale.standard().hybrid_k == 8
+
+
+class TestGenerate:
+    def test_covers_all_experiments(self, quick_report):
+        names = [r.experiment for r in quick_report.results]
+        for needle in ("fig5", "fig6", "fig7", "fig8", "hybrid",
+                       "link failures"):
+            assert any(needle in n for n in names), needle
+
+    def test_no_timestamp_when_unstamped(self, quick_report):
+        assert quick_report.timestamp is None
+
+    def test_markdown_structure(self, quick_report):
+        text = quick_report.to_markdown()
+        assert text.startswith("# Flat-tree reproduction report")
+        assert text.count("## ") == len(quick_report.results)
+        assert text.count("```") == 2 * len(quick_report.results)
+
+    def test_markdown_contains_tables(self, quick_report):
+        text = quick_report.to_markdown()
+        assert "fat-tree" in text
+        assert "global zone" in text
+
+
+class TestWrite:
+    def test_writes_file(self, tmp_path, quick_report):
+        # Re-rendering an existing report avoids re-running experiments.
+        path = tmp_path / "report.md"
+        path.write_text(quick_report.to_markdown())
+        assert path.read_text().startswith("# Flat-tree")
+
+    def test_write_report_end_to_end(self, tmp_path):
+        path = tmp_path / "r.md"
+        report = write_report(str(path), scale=ReportScale.quick(), seed=1)
+        assert path.exists()
+        assert len(report.results) == 6
+        assert "generated:" in path.read_text()

@@ -1,0 +1,131 @@
+"""Unit and property tests for max-min fair allocation."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.flowsim.fairshare import RoutedFlow, max_min_fair_rates
+from repro.routing.base import Path
+from repro.routing.ksp import k_shortest_paths
+from repro.topology.elements import Network, PlainSwitch
+from repro.topology.fattree import build_fat_tree
+
+
+def p(*indices):
+    return Path(tuple(PlainSwitch(i) for i in indices))
+
+
+def line(n=3, ports=8):
+    net = Network("line")
+    nodes = [PlainSwitch(i) for i in range(n)]
+    for node in nodes:
+        net.add_switch(node, ports)
+    for a, b in zip(nodes, nodes[1:]):
+        net.add_cable(a, b)
+    return net
+
+
+class TestKnownAllocations:
+    def test_single_flow_gets_full_link(self):
+        net = line()
+        result = max_min_fair_rates(net, [RoutedFlow(1, p(0, 1))])
+        assert result.rates[1] == pytest.approx(1.0)
+
+    def test_two_flows_share_bottleneck(self):
+        net = line()
+        flows = [RoutedFlow(1, p(0, 1, 2)), RoutedFlow(2, p(0, 1))]
+        result = max_min_fair_rates(net, flows)
+        assert result.rates[1] == pytest.approx(0.5)
+        assert result.rates[2] == pytest.approx(0.5)
+
+    def test_opposite_directions_do_not_contend(self):
+        net = line()
+        flows = [RoutedFlow(1, p(0, 1)), RoutedFlow(2, p(1, 0))]
+        result = max_min_fair_rates(net, flows)
+        assert result.rates[1] == pytest.approx(1.0)
+        assert result.rates[2] == pytest.approx(1.0)
+
+    def test_waterfilling_releases_slack(self):
+        """Classic: flows A(0-1-2), B(0-1), C(1-2).
+
+        Link (0,1) carries A,B; link (1,2) carries A,C -> everyone 0.5.
+        Add D(0,1) -> link (0,1) has 3 flows: A,B,D = 1/3; C then gets
+        the slack on (1,2): 2/3.
+        """
+        net = line()
+        flows = [
+            RoutedFlow(1, p(0, 1, 2)),
+            RoutedFlow(2, p(0, 1)),
+            RoutedFlow(3, p(1, 2)),
+            RoutedFlow(4, p(0, 1)),
+        ]
+        rates = max_min_fair_rates(net, flows).rates
+        assert rates[1] == pytest.approx(1 / 3)
+        assert rates[2] == pytest.approx(1 / 3)
+        assert rates[4] == pytest.approx(1 / 3)
+        assert rates[3] == pytest.approx(2 / 3)
+
+    def test_demand_caps_respected(self):
+        net = line()
+        flows = [
+            RoutedFlow(1, p(0, 1), demand=0.2),
+            RoutedFlow(2, p(0, 1)),
+        ]
+        rates = max_min_fair_rates(net, flows).rates
+        assert rates[1] == pytest.approx(0.2)
+        assert rates[2] == pytest.approx(0.8)
+
+    def test_zero_hop_flow_unbounded(self):
+        net = line()
+        flows = [RoutedFlow(1, p(0)), RoutedFlow(2, p(0, 1))]
+        rates = max_min_fair_rates(net, flows).rates
+        assert math.isinf(rates[1])
+        assert rates[2] == pytest.approx(1.0)
+
+    def test_zero_hop_with_demand(self):
+        net = line()
+        rates = max_min_fair_rates(
+            net, [RoutedFlow(1, p(0), demand=3.0)]
+        ).rates
+        assert rates[1] == pytest.approx(3.0)
+
+    def test_duplicate_ids_rejected(self):
+        net = line()
+        with pytest.raises(Exception):
+            max_min_fair_rates(net, [RoutedFlow(1, p(0, 1)),
+                                     RoutedFlow(1, p(1, 2))])
+
+    def test_result_statistics(self):
+        net = line()
+        result = max_min_fair_rates(
+            net, [RoutedFlow(1, p(0, 1)), RoutedFlow(2, p(1, 2))]
+        )
+        assert result.total == pytest.approx(2.0)
+        assert result.min_rate == pytest.approx(1.0)
+        assert set(result.bounded_rates()) == {1, 2}
+
+
+@given(st.integers(min_value=0, max_value=60), st.integers(min_value=2, max_value=24))
+def test_property_allocation_feasible_and_positive(seed, nflows):
+    """Random flows over fat-tree(4): capacities respected, no starvation."""
+    net = build_fat_tree(4)
+    rng = random.Random(seed)
+    switches = [s for s in net.switches()]
+    flows = []
+    for fid in range(nflows):
+        src, dst = rng.sample(switches, 2)
+        paths = k_shortest_paths(net, src, dst, k=4)
+        flows.append(RoutedFlow(fid, rng.choice(paths)))
+    rates = max_min_fair_rates(net, flows).rates
+    assert all(r > 0 for r in rates.values())
+    load = {}
+    for flow in flows:
+        for u, v in flow.path.edges():
+            load[(u, v)] = load.get((u, v), 0.0) + rates[flow.flow_id]
+    for (u, v), total in load.items():
+        assert total <= net.capacity(u, v) + 1e-6

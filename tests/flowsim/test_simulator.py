@@ -1,0 +1,143 @@
+"""Unit tests for the fluid flow-level simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.flowsim.simulator import FlowSimulator, FlowSpec
+from repro.routing.base import Path
+from repro.topology.elements import Network, PlainSwitch
+
+
+@pytest.fixture()
+def line_net():
+    net = Network("line")
+    nodes = [PlainSwitch(i) for i in range(3)]
+    for node in nodes:
+        net.add_switch(node, 8)
+    net.add_cable(nodes[0], nodes[1])
+    net.add_cable(nodes[1], nodes[2])
+    net.add_server(0, nodes[0])
+    net.add_server(1, nodes[0])
+    net.add_server(2, nodes[2])
+    return net
+
+
+def line_router(net):
+    def router(src_server, dst_server, _flow_id):
+        a = net.server_switch(src_server)
+        b = net.server_switch(dst_server)
+        if a == b:
+            return Path((a,))
+        return Path((PlainSwitch(0), PlainSwitch(1), PlainSwitch(2)))
+
+    return router
+
+
+class TestSingleFlow:
+    def test_fct_is_size_over_rate(self, line_net):
+        sim = FlowSimulator(line_net, line_router(line_net))
+        result = sim.run([FlowSpec(1, 0, 2, size=3.0)])
+        assert result.completed[0].duration == pytest.approx(3.0)
+        assert result.makespan == pytest.approx(3.0)
+
+    def test_same_switch_flow_instant(self, line_net):
+        sim = FlowSimulator(line_net, line_router(line_net))
+        result = sim.run([FlowSpec(1, 0, 1, size=5.0)])
+        assert result.completed[0].duration == pytest.approx(0.0)
+        assert result.completed[0].path_hops == 0
+
+
+class TestSharing:
+    def test_two_flows_serialize_then_speed_up(self, line_net):
+        """Two unit flows sharing a link: first phase at rate 1/2 until
+        both have 0.5 left... they tie, so both finish at t = 2."""
+        sim = FlowSimulator(line_net, line_router(line_net))
+        result = sim.run([
+            FlowSpec(1, 0, 2, size=1.0),
+            FlowSpec(2, 0, 2, size=1.0),
+        ])
+        finishes = sorted(c.finish for c in result.completed)
+        assert finishes == pytest.approx([2.0, 2.0])
+
+    def test_short_flow_finishes_then_long_accelerates(self, line_net):
+        """Sizes 1 and 3: share 0.5 until t=2 (short done), then the
+        long flow runs alone: 2 remaining at rate 1 -> t=4."""
+        sim = FlowSimulator(line_net, line_router(line_net))
+        result = sim.run([
+            FlowSpec(1, 0, 2, size=1.0),
+            FlowSpec(2, 0, 2, size=3.0),
+        ])
+        by_id = {c.spec.flow_id: c for c in result.completed}
+        assert by_id[1].finish == pytest.approx(2.0)
+        assert by_id[2].finish == pytest.approx(4.0)
+
+
+class TestArrivals:
+    def test_late_arrival_shares_from_then_on(self, line_net):
+        """Flow B arrives at t=1 while A (size 2) is half done; they
+        share: A's remaining 1 at rate 0.5 -> A ends at t=3; B sent 1 of
+        its 2 by then and runs alone -> t=4."""
+        sim = FlowSimulator(line_net, line_router(line_net))
+        result = sim.run([
+            FlowSpec(1, 0, 2, size=2.0, arrival=0.0),
+            FlowSpec(2, 0, 2, size=2.0, arrival=1.0),
+        ])
+        by_id = {c.spec.flow_id: c for c in result.completed}
+        assert by_id[1].finish == pytest.approx(3.0)
+        assert by_id[2].finish == pytest.approx(4.0)
+
+    def test_idle_gap_jumps_to_next_arrival(self, line_net):
+        sim = FlowSimulator(line_net, line_router(line_net))
+        result = sim.run([
+            FlowSpec(1, 0, 2, size=1.0, arrival=0.0),
+            FlowSpec(2, 0, 2, size=1.0, arrival=10.0),
+        ])
+        by_id = {c.spec.flow_id: c for c in result.completed}
+        assert by_id[1].finish == pytest.approx(1.0)
+        assert by_id[2].finish == pytest.approx(11.0)
+        assert by_id[2].duration == pytest.approx(1.0)
+
+
+class TestStatistics:
+    def test_mean_and_p99(self, line_net):
+        sim = FlowSimulator(line_net, line_router(line_net))
+        result = sim.run([
+            FlowSpec(1, 0, 2, size=1.0),
+            FlowSpec(2, 0, 2, size=1.0),
+        ])
+        assert result.mean_fct == pytest.approx(2.0)
+        assert result.p99_fct == pytest.approx(2.0)
+
+    def test_empty_statistics_raise(self):
+        from repro.flowsim.simulator import SimulationResult
+
+        empty = SimulationResult()
+        with pytest.raises(ReproError):
+            _ = empty.mean_fct
+        with pytest.raises(ReproError):
+            _ = empty.p99_fct
+
+
+class TestValidation:
+    def test_bad_size_rejected(self):
+        with pytest.raises(ReproError):
+            FlowSpec(1, 0, 2, size=0.0)
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ReproError):
+            FlowSpec(1, 0, 2, size=1.0, arrival=-1.0)
+
+    def test_duplicate_ids_rejected(self, line_net):
+        sim = FlowSimulator(line_net, line_router(line_net))
+        with pytest.raises(ReproError):
+            sim.run([
+                FlowSpec(1, 0, 2, size=1.0),
+                FlowSpec(1, 0, 2, size=1.0),
+            ])
+
+    def test_empty_rejected(self, line_net):
+        sim = FlowSimulator(line_net, line_router(line_net))
+        with pytest.raises(ReproError):
+            sim.run([])

@@ -1,0 +1,100 @@
+"""Unit tests for routing abstractions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing.base import Path, RoutingTable
+from repro.topology.elements import PlainSwitch
+
+
+def p(*indices):
+    return Path(tuple(PlainSwitch(i) for i in indices))
+
+
+class TestPath:
+    def test_hops_and_endpoints(self):
+        path = p(0, 1, 2)
+        assert path.hops == 2
+        assert path.src == PlainSwitch(0)
+        assert path.dst == PlainSwitch(2)
+        assert path.edges() == [
+            (PlainSwitch(0), PlainSwitch(1)),
+            (PlainSwitch(1), PlainSwitch(2)),
+        ]
+
+    def test_single_node_path(self):
+        path = p(5)
+        assert path.hops == 0
+        assert path.edges() == []
+
+    def test_empty_rejected(self):
+        with pytest.raises(RoutingError):
+            Path(())
+
+    def test_loops_rejected(self):
+        with pytest.raises(RoutingError):
+            p(0, 1, 0)
+
+    def test_validate_on_fabric(self, triangle):
+        good = Path((PlainSwitch(0), PlainSwitch(1)))
+        good.validate_on(triangle)
+        bad = Path((PlainSwitch(0), PlainSwitch(42)))
+        with pytest.raises(RoutingError):
+            bad.validate_on(triangle)
+
+
+class TestRoutingTable:
+    def make_table(self):
+        table = RoutingTable("t")
+        table.add([p(0, 1, 2), p(0, 2)])
+        return table
+
+    def test_paths_lookup(self):
+        table = self.make_table()
+        assert len(table.paths(PlainSwitch(0), PlainSwitch(2))) == 2
+
+    def test_missing_route_raises(self):
+        table = self.make_table()
+        with pytest.raises(RoutingError):
+            table.paths(PlainSwitch(2), PlainSwitch(0))
+
+    def test_self_route_implicit(self):
+        table = self.make_table()
+        same = table.paths(PlainSwitch(7), PlainSwitch(7))
+        assert same[0].hops == 0
+        assert table.has_route(PlainSwitch(7), PlainSwitch(7))
+
+    def test_zero_hop_paths_skipped_on_add(self):
+        table = RoutingTable("t")
+        table.add([p(3)])
+        assert len(table) == 0
+
+    def test_select_deterministic_and_within_options(self):
+        table = self.make_table()
+        options = table.paths(PlainSwitch(0), PlainSwitch(2))
+        chosen = table.select(PlainSwitch(0), PlainSwitch(2), "flow-1")
+        assert chosen in options
+        again = table.select(PlainSwitch(0), PlainSwitch(2), "flow-1")
+        assert chosen == again
+
+    def test_select_spreads_over_flows(self):
+        table = self.make_table()
+        picks = {
+            table.select(PlainSwitch(0), PlainSwitch(2), i)
+            for i in range(64)
+        }
+        assert len(picks) == 2
+
+    def test_len_counts_paths(self):
+        assert len(self.make_table()) == 2
+
+    def test_validate_on(self, triangle):
+        table = RoutingTable("t")
+        table.add([Path((PlainSwitch(0), PlainSwitch(1), PlainSwitch(2)))])
+        table.validate_on(triangle)
+        bad = RoutingTable("t")
+        bad.add([Path((PlainSwitch(0), PlainSwitch(9)))])
+        with pytest.raises(RoutingError):
+            bad.validate_on(triangle)

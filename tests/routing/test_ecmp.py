@@ -1,0 +1,76 @@
+"""Unit tests for ECMP routing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing.ecmp import build_ecmp_table, ecmp_fanout, ecmp_paths
+from repro.topology.elements import EdgeSwitch, PlainSwitch
+from repro.topology.fattree import build_fat_tree
+
+
+class TestEcmpPaths:
+    def test_all_paths_are_shortest(self, fat8):
+        src, dst = EdgeSwitch(0, 0), EdgeSwitch(1, 0)
+        paths = ecmp_paths(fat8, src, dst)
+        hops = {p.hops for p in paths}
+        assert hops == {4}
+
+    def test_cross_pod_count_is_k_squared_over_4(self):
+        """Fat-tree(k) has (k/2)^2 shortest cross-pod paths."""
+        for k in (4, 6):
+            net = build_fat_tree(k)
+            paths = ecmp_paths(net, EdgeSwitch(0, 0), EdgeSwitch(1, 0),
+                               limit=None)
+            assert len(paths) == (k // 2) ** 2
+
+    def test_intra_pod_count(self, fat8):
+        paths = ecmp_paths(fat8, EdgeSwitch(0, 0), EdgeSwitch(0, 1),
+                           limit=None)
+        assert len(paths) == 4  # one per aggregation switch
+
+    def test_limit_respected(self, fat8):
+        paths = ecmp_paths(fat8, EdgeSwitch(0, 0), EdgeSwitch(1, 0), limit=3)
+        assert len(paths) == 3
+
+    def test_same_switch(self, fat8):
+        paths = ecmp_paths(fat8, EdgeSwitch(0, 0), EdgeSwitch(0, 0))
+        assert paths[0].hops == 0
+
+    def test_no_path_raises(self, fat8):
+        with pytest.raises(RoutingError):
+            ecmp_paths(fat8, EdgeSwitch(0, 0), PlainSwitch(999))
+
+
+class TestEcmpTable:
+    def test_builds_for_pairs(self, fat8):
+        pairs = [(EdgeSwitch(0, 0), EdgeSwitch(1, 0)),
+                 (EdgeSwitch(0, 0), EdgeSwitch(0, 1))]
+        table = build_ecmp_table(fat8, pairs)
+        assert len(table.paths(*pairs[0])) == 16  # capped at limit
+        table.validate_on(fat8)
+
+    def test_skips_self_pairs(self, fat8):
+        table = build_ecmp_table(fat8, [(EdgeSwitch(0, 0), EdgeSwitch(0, 0))])
+        assert len(table) == 0
+
+
+class TestFanout:
+    def test_matches_enumeration(self, fat8):
+        src, dst = EdgeSwitch(0, 0), EdgeSwitch(1, 0)
+        assert ecmp_fanout(fat8, src, dst) == len(
+            ecmp_paths(fat8, src, dst, limit=None)
+        )
+
+    def test_identity(self, fat8):
+        assert ecmp_fanout(fat8, EdgeSwitch(0, 0), EdgeSwitch(0, 0)) == 1
+
+    def test_unreachable_raises(self, fat8):
+        with pytest.raises(RoutingError):
+            ecmp_fanout(fat8, EdgeSwitch(0, 0), PlainSwitch(999))
+
+    def test_clos_mode_has_rich_multipath(self):
+        """The paper's §1 Clos benefit: rich equal-cost redundancy."""
+        net = build_fat_tree(8)
+        assert ecmp_fanout(net, EdgeSwitch(0, 0), EdgeSwitch(7, 3)) == 16

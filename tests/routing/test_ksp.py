@@ -1,0 +1,69 @@
+"""Unit tests for k-shortest-paths routing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing.ksp import (
+    DEFAULT_K,
+    build_ksp_table,
+    k_shortest_paths,
+    path_stretch,
+)
+from repro.topology.elements import PlainSwitch
+
+
+class TestKShortestPaths:
+    def test_sorted_by_length(self, global8):
+        switches = list(global8.switches())
+        paths = k_shortest_paths(global8, switches[0], switches[-1])
+        hops = [p.hops for p in paths]
+        assert hops == sorted(hops)
+        assert len(paths) == DEFAULT_K
+
+    def test_paths_unique(self, global8):
+        switches = list(global8.switches())
+        paths = k_shortest_paths(global8, switches[0], switches[-1], k=6)
+        assert len({p.nodes for p in paths}) == 6
+
+    def test_paths_loop_free_and_valid(self, global8):
+        switches = list(global8.switches())
+        for path in k_shortest_paths(global8, switches[3], switches[-3], k=4):
+            assert len(set(path.nodes)) == len(path.nodes)
+            path.validate_on(global8)
+
+    def test_fewer_paths_than_k(self, path3):
+        paths = k_shortest_paths(path3, PlainSwitch(0), PlainSwitch(2), k=5)
+        assert len(paths) == 1
+
+    def test_k_validation(self, path3):
+        with pytest.raises(RoutingError):
+            k_shortest_paths(path3, PlainSwitch(0), PlainSwitch(2), k=0)
+
+    def test_same_switch(self, path3):
+        paths = k_shortest_paths(path3, PlainSwitch(0), PlainSwitch(0))
+        assert paths[0].hops == 0
+
+    def test_unreachable_raises(self, path3):
+        with pytest.raises(RoutingError):
+            k_shortest_paths(path3, PlainSwitch(0), PlainSwitch(77))
+
+
+class TestKspTable:
+    def test_builds_and_validates(self, triangle):
+        pairs = [(PlainSwitch(0), PlainSwitch(1))]
+        table = build_ksp_table(triangle, pairs, k=3)
+        paths = table.paths(PlainSwitch(0), PlainSwitch(1))
+        assert [p.hops for p in paths] == [1, 2]
+        table.validate_on(triangle)
+
+
+class TestStretch:
+    def test_stretch_ratio(self, triangle):
+        paths = k_shortest_paths(triangle, PlainSwitch(0), PlainSwitch(1), k=2)
+        assert path_stretch(paths) == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(RoutingError):
+            path_stretch([])

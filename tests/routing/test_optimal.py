@@ -1,0 +1,95 @@
+"""Unit tests for optimal-routing compilation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.mcf.commodities import Commodity
+from repro.routing.optimal import compile_optimal_routes
+from repro.topology.fattree import build_fat_tree
+
+
+@pytest.fixture(scope="module")
+def routes4():
+    net = build_fat_tree(4)
+    workload = [Commodity(0, 15), Commodity(0, 8), Commodity(4, 12)]
+    return net, workload, compile_optimal_routes(net, workload)
+
+
+class TestCompile:
+    def test_throughput_matches_lp(self, routes4):
+        net, workload, routes = routes4
+        from repro.experiments.common import throughput_of
+
+        assert routes.throughput == pytest.approx(
+            throughput_of(net, workload), rel=1e-6
+        )
+
+    def test_every_commodity_pair_routed(self, routes4):
+        net, workload, routes = routes4
+        for c in workload:
+            src = net.server_switch(c.src)
+            dst = net.server_switch(c.dst)
+            weighted = routes.paths_for(src, dst)
+            assert weighted.paths
+            assert sum(weighted.normalized_weights()) == pytest.approx(1.0)
+
+    def test_paths_valid_on_fabric(self, routes4):
+        net, _workload, routes = routes4
+        for weighted in routes.pairs.values():
+            for path in weighted.paths:
+                path.validate_on(net)
+
+    def test_missing_pair_raises(self, routes4):
+        net, _workload, routes = routes4
+        src = net.server_switch(0)
+        with pytest.raises(RoutingError):
+            routes.paths_for(src, src)
+
+
+class TestDownstreamUses:
+    def test_as_routing_table(self, routes4):
+        net, _workload, routes = routes4
+        table = routes.as_routing_table()
+        table.validate_on(net)
+        assert len(table) >= len(routes.pairs)
+
+    def test_as_sdn_program_walks(self, routes4):
+        net, workload, routes = routes4
+        program = routes.as_sdn_program()
+        program.validate_on(net)
+        for c in workload:
+            src = net.server_switch(c.src)
+            dst = net.server_switch(c.dst)
+            walked = program.forward(src, dst, 0)
+            assert walked.dst == dst
+
+    def test_optimal_splits_achieve_lp_rate_in_fairshare(self):
+        """Feeding the decomposed optimal splits to the max-min
+        allocator reproduces at least the LP's concurrent rate."""
+        from repro.flowsim.fairshare import RoutedFlow, max_min_fair_rates
+
+        net = build_fat_tree(4)
+        workload = [Commodity(0, 15), Commodity(4, 12)]
+        routes = compile_optimal_routes(net, workload)
+        flows = []
+        fid = 0
+        for weighted in routes.pairs.values():
+            for path, weight in zip(
+                weighted.paths, weighted.normalized_weights()
+            ):
+                # One subflow per path, demand-capped at the LP share.
+                flows.append(
+                    RoutedFlow(fid, path,
+                               demand=weight * routes.throughput)
+                )
+                fid += 1
+        result = max_min_fair_rates(net, flows)
+        per_pair = {}
+        for flow, rate in result.rates.items():
+            path = flows[flow].path
+            key = (path.src, path.dst)
+            per_pair[key] = per_pair.get(key, 0.0) + rate
+        for total in per_pair.values():
+            assert total >= routes.throughput * (1 - 1e-6)

@@ -1,0 +1,73 @@
+"""Unit tests for SDN path programs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing.base import Path, RoutingTable
+from repro.routing.ksp import build_ksp_table
+from repro.routing.sdn import SdnProgram
+from repro.topology.elements import PlainSwitch
+
+
+def p(*indices):
+    return Path(tuple(PlainSwitch(i) for i in indices))
+
+
+@pytest.fixture()
+def program():
+    table = RoutingTable("t")
+    table.add([p(0, 1, 2), p(0, 2), p(3, 1, 0)])
+    return SdnProgram.compile(table)
+
+
+class TestCompile:
+    def test_rule_counts(self, program):
+        # p(0,1,2): 2 rules; p(0,2): 1; p(3,1,0): 2.
+        assert program.rule_count() == 5
+        assert program.rules_at(PlainSwitch(0)) == 2
+        assert program.rules_at(PlainSwitch(99)) == 0
+
+    def test_multipath_ids_distinct(self, program):
+        a = program.forward(PlainSwitch(0), PlainSwitch(2), 0)
+        b = program.forward(PlainSwitch(0), PlainSwitch(2), 1)
+        assert {a.hops, b.hops} == {1, 2}
+
+
+class TestForward:
+    def test_walks_to_destination(self, program):
+        path = program.forward(PlainSwitch(3), PlainSwitch(0), 0)
+        assert path.nodes == (PlainSwitch(3), PlainSwitch(1), PlainSwitch(0))
+
+    def test_blackhole_detected(self, program):
+        with pytest.raises(RoutingError, match="blackhole"):
+            program.forward(PlainSwitch(2), PlainSwitch(0), 0)
+
+    def test_loop_detected(self):
+        prog = SdnProgram()
+        a, b, dst = PlainSwitch(0), PlainSwitch(1), PlainSwitch(9)
+        key = (a, dst, 0)
+        prog.rules[a] = {key: b}
+        prog.rules[b] = {key: a}
+        with pytest.raises(RoutingError, match="loop"):
+            prog.forward(a, dst, 0)
+
+
+class TestValidate:
+    def test_valid_on_real_topology(self, global8):
+        switches = list(global8.switches())
+        pairs = [(switches[0], switches[-1]), (switches[2], switches[10])]
+        table = build_ksp_table(global8, pairs, k=4)
+        program = SdnProgram.compile(table)
+        program.validate_on(global8)
+        for src, dst in pairs:
+            walked = program.forward(src, dst, 0)
+            assert walked.dst == dst
+
+    def test_missing_link_detected(self, triangle):
+        prog = SdnProgram()
+        a, ghost = PlainSwitch(0), PlainSwitch(9)
+        prog.rules[a] = {(a, ghost, 0): ghost}
+        with pytest.raises(RoutingError):
+            prog.validate_on(triangle)

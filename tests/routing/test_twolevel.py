@@ -1,0 +1,105 @@
+"""Unit tests for two-level fat-tree routing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.conversion import Mode, convert
+from repro.core.design import FlatTreeDesign
+from repro.core.flattree import FlatTree
+from repro.errors import RoutingError
+from repro.routing.twolevel import two_level_hops, two_level_route
+from repro.topology.clos import ClosParams, build_clos, fat_tree_params
+
+
+class TestRouteShapes:
+    def test_same_switch(self, fat8, params8):
+        path = two_level_route(params8, fat8, 0, 1)
+        assert path.hops == 0
+
+    def test_intra_pod(self, fat8, params8):
+        src = params8.server_id(0, 0, 0)
+        dst = params8.server_id(0, 1, 0)
+        path = two_level_route(params8, fat8, src, dst)
+        assert path.hops == 2
+        assert path.nodes[1].kind == "agg"
+
+    def test_cross_pod(self, fat8, params8):
+        src = params8.server_id(0, 0, 0)
+        dst = params8.server_id(5, 2, 3)
+        path = two_level_route(params8, fat8, src, dst)
+        assert path.hops == 4
+        kinds = [n.kind for n in path.nodes]
+        assert kinds == ["edge", "agg", "core", "agg", "edge"]
+
+    def test_self_rejected(self, fat8, params8):
+        with pytest.raises(RoutingError):
+            two_level_route(params8, fat8, 3, 3)
+
+
+class TestDeterminismAndSpread:
+    def test_deterministic(self, fat8, params8):
+        a = two_level_route(params8, fat8, 0, 100)
+        b = two_level_route(params8, fat8, 0, 100)
+        assert a == b
+
+    def test_suffix_spreads_aggs(self, fat8, params8):
+        """Different destination slots exit via different aggs."""
+        src = params8.server_id(0, 0, 0)
+        aggs = set()
+        for slot in range(params8.servers_per_edge):
+            dst = params8.server_id(5, 0, slot)
+            path = two_level_route(params8, fat8, src, dst)
+            aggs.add(path.nodes[1])
+        assert len(aggs) == params8.aggs_per_pod
+
+    def test_all_pairs_valid_on_fat_tree(self, fat8, params8):
+        servers = list(range(0, params8.num_servers, 7))
+        for src in servers:
+            for dst in servers:
+                if src != dst:
+                    two_level_route(params8, fat8, src, dst)
+
+
+class TestOnConvertedTopologies:
+    def test_works_on_flat_tree_clos_mode(self, params8):
+        ft = FlatTree(FlatTreeDesign.for_fat_tree(8))
+        clos = convert(ft, Mode.CLOS)
+        path = two_level_route(params8, clos, 0, 127)
+        assert path.hops == 4
+
+    def test_rejected_on_global_mode(self, params8):
+        """Converted topologies break Clos assumptions -> explicit error."""
+        ft = FlatTree(FlatTreeDesign.for_fat_tree(8))
+        net = convert(ft, Mode.GLOBAL_RANDOM)
+        failures = 0
+        for src, dst in ((0, 127), (1, 100), (2, 90), (5, 64)):
+            try:
+                two_level_route(params8, net, src, dst)
+            except RoutingError:
+                failures += 1
+        assert failures > 0
+
+
+class TestGenericR:
+    def test_oversubscribed_clos(self):
+        params = ClosParams(pods=4, d=4, r=2, h=4, servers_per_edge=4)
+        net = build_clos(params)
+        src = params.server_id(0, 0, 0)
+        for dst in (params.server_id(1, 3, 3), params.server_id(2, 1, 2)):
+            path = two_level_route(params, net, src, dst)
+            assert path.hops == 4
+
+
+class TestHops:
+    def test_hop_classes(self, params8):
+        same_switch = (params8.server_id(0, 0, 0), params8.server_id(0, 0, 1))
+        same_pod = (params8.server_id(0, 0, 0), params8.server_id(0, 1, 0))
+        cross_pod = (params8.server_id(0, 0, 0), params8.server_id(1, 0, 0))
+        assert two_level_hops(params8, *same_switch) == 2
+        assert two_level_hops(params8, *same_pod) == 4
+        assert two_level_hops(params8, *cross_pod) == 6
+
+    def test_self_rejected(self, params8):
+        with pytest.raises(RoutingError):
+            two_level_hops(params8, 1, 1)

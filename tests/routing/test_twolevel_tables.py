@@ -1,0 +1,81 @@
+"""Unit tests for compiled two-level forwarding tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing.twolevel import two_level_route
+from repro.routing.twolevel_tables import (
+    Address,
+    compile_two_level_tables,
+)
+from repro.topology.clos import ClosParams, build_clos, fat_tree_params
+from repro.topology.elements import AggSwitch, CoreSwitch, EdgeSwitch
+
+
+@pytest.fixture(scope="module")
+def tables8():
+    return compile_two_level_tables(fat_tree_params(8))
+
+
+class TestAddress:
+    def test_of_server(self, params8):
+        addr = Address.of(params8, params8.server_id(3, 2, 1))
+        assert (addr.pod, addr.edge, addr.slot) == (3, 2, 1)
+
+
+class TestCompile:
+    def test_every_switch_has_a_table(self, tables8, params8):
+        assert len(tables8.tables) == params8.num_switches
+
+    def test_table_sizes(self, tables8, params8):
+        k = 8
+        edge = tables8.table(EdgeSwitch(0, 0))
+        assert edge.size == 1 + params8.aggs_per_pod
+        agg = tables8.table(AggSwitch(0, 0))
+        assert agg.size == params8.d + params8.h
+        core = tables8.table(CoreSwitch(0))
+        assert core.size == params8.pods
+        # Two-level tables are tiny: O(k) per switch, never O(#servers).
+        assert tables8.max_table_size() <= 2 * k
+
+    def test_tables_valid_on_fabric(self, tables8, fat8):
+        tables8.validate_on(fat8)
+
+
+class TestRouteWalk:
+    def test_matches_analytic_router(self, tables8, fat8, params8):
+        servers = list(range(0, params8.num_servers, 5))
+        for src in servers:
+            for dst in servers:
+                if src == dst:
+                    continue
+                walked = tables8.route(src, dst)
+                analytic = two_level_route(params8, fat8, src, dst)
+                assert walked == analytic
+
+    def test_same_switch_delivers_immediately(self, tables8):
+        path = tables8.route(0, 1)
+        assert path.hops == 0
+
+    def test_self_rejected(self, tables8):
+        with pytest.raises(RoutingError):
+            tables8.route(5, 5)
+
+
+class TestGenericR:
+    def test_oversubscribed_layout(self):
+        params = ClosParams(pods=4, d=4, r=2, h=4, servers_per_edge=4)
+        tables = compile_two_level_tables(params)
+        net = build_clos(params)
+        tables.validate_on(net)
+        for src, dst in ((0, 60), (3, 17), (20, 45)):
+            walked = tables.route(src, dst)
+            walked.validate_on(net)
+            assert walked == two_level_route(params, net, src, dst)
+
+    def test_total_entries_scale(self):
+        small = compile_two_level_tables(fat_tree_params(4))
+        big = compile_two_level_tables(fat_tree_params(8))
+        assert big.total_entries() > small.total_entries()

@@ -1,0 +1,151 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestFigures:
+    def test_fig5(self, capsys):
+        code, out = run_cli(capsys, "fig5", "--ks", "4", "6")
+        assert code == 0
+        assert "fig5" in out
+        assert "fat-tree" in out and "random graph" in out
+
+    def test_fig6(self, capsys):
+        code, out = run_cli(capsys, "fig6", "--ks", "4")
+        assert code == 0
+        assert "two-stage random graph" in out
+
+    def test_fig7_with_solver(self, capsys):
+        code, out = run_cli(
+            capsys, "fig7", "--ks", "4", "--solver", "exact"
+        )
+        assert code == 0
+        assert "throughput" in out
+
+    def test_fig8(self, capsys):
+        code, out = run_cli(capsys, "fig8", "--ks", "4")
+        assert code == 0
+        assert "flat-tree locality" in out
+
+
+class TestHybrid:
+    def test_hybrid_runs(self, capsys):
+        code, out = run_cli(
+            capsys, "hybrid", "--k", "6", "--fractions", "0.5"
+        )
+        assert code == 0
+        assert "global zone" in out
+        assert "combined" in out
+
+
+class TestProfile:
+    def test_profile_prints_grid(self, capsys):
+        code, out = run_cli(capsys, "profile", "--k", "8")
+        assert code == 0
+        assert "<-- minimum" in out
+
+
+class TestConvert:
+    @pytest.mark.parametrize(
+        "mode", ["clos", "global-random", "local-random"]
+    )
+    def test_convert_modes(self, capsys, mode):
+        code, out = run_cli(capsys, "convert", "--k", "8", "--mode", mode)
+        assert code == 0
+        assert "plan:" in out
+        assert "network:" in out
+
+    def test_convert_shows_server_distribution(self, capsys):
+        _code, out = run_cli(
+            capsys, "convert", "--k", "8", "--mode", "global-random"
+        )
+        assert "core" in out
+
+
+class TestCompare:
+    def test_compare_table(self, capsys):
+        code, out = run_cli(capsys, "compare", "--k", "4")
+        assert code == 0
+        for name in ("fat-tree", "flat-tree[global]", "two-stage"):
+            assert name in out
+        assert "avg path length" in out
+
+
+class TestCost:
+    def test_cost_table(self, capsys):
+        code, out = run_cli(capsys, "cost", "--ks", "8", "16")
+        assert code == 0
+        assert "rel. cost" in out
+        assert "0.070" in out
+
+
+class TestSchedule:
+    @pytest.mark.parametrize("tech", ["mems", "mzi", "packet"])
+    def test_schedule_per_technology(self, capsys, tech):
+        code, out = run_cli(
+            capsys, "schedule", "--k", "8", "--technology", tech
+        )
+        assert code == 0
+        assert "batches" in out
+
+
+class TestExport:
+    def test_dot(self, capsys):
+        code, out = run_cli(capsys, "export", "--k", "4", "--format", "dot")
+        assert code == 0
+        assert out.startswith("graph")
+
+    def test_json_parses(self, capsys):
+        import json
+
+        code, out = run_cli(capsys, "export", "--k", "4", "--format", "json")
+        assert code == 0
+        data = json.loads(out)
+        assert len(data["switches"]) == 20
+
+    def test_edges(self, capsys):
+        code, out = run_cli(capsys, "export", "--k", "4", "--format", "edges")
+        assert code == 0
+        assert len(out.strip().splitlines()) == 32
+
+
+class TestDownscale:
+    def test_downscale_runs(self, capsys):
+        code, out = run_cli(
+            capsys, "downscale", "--k", "4", "--floor", "0.5",
+            "--flows", "2",
+        )
+        assert code == 0
+        assert "baseline" in out
+
+
+class TestReport:
+    def test_report_writes_markdown(self, capsys, tmp_path):
+        out = tmp_path / "r.md"
+        code, text = run_cli(
+            capsys, "report", "--out", str(out), "--scale", "quick"
+        )
+        assert code == 0
+        assert "wrote" in text
+        assert out.read_text().startswith("# Flat-tree reproduction report")
+
+
+class TestUsage:
+    def test_no_args_prints_help(self, capsys):
+        code = main([])
+        assert code == 2
+        assert "experiments" in capsys.readouterr().out
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["convert", "--k", "8", "--mode", "sideways"])

@@ -1,0 +1,79 @@
+"""Smoke tests: every shipped example runs cleanly end to end.
+
+The examples are part of the public deliverable; these tests execute
+them as real subprocesses (fresh interpreter, no shared state) and
+check both the exit status and the presence of their headline output.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name: str) -> str:
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, name))
+    result = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        check=False,
+    )
+    assert result.returncode == 0, (
+        f"{name} failed:\n{result.stdout}\n{result.stderr}"
+    )
+    return result.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "cable-for-cable identical" in out
+        assert "Figure 5 metric" in out
+
+    def test_workload_aware_conversion(self):
+        out = run_example("workload_aware_conversion.py")
+        assert "zones are isolated" in out
+        assert "night shift" in out
+
+    def test_profiling_design(self):
+        out = run_example("profiling_design.py")
+        assert "<-- chosen" in out
+        assert "oversubscribed" in out
+
+    def test_live_conversion_fct(self):
+        out = run_example("live_conversion_fct.py")
+        assert "mean FCT" in out
+        assert out.count("convert to") == 2
+
+    def test_self_healing(self):
+        out = run_example("self_healing.py")
+        assert "0 server(s) dark" in out
+        assert "sleeping" in out
+
+    def test_multistage_flattree(self):
+        out = run_example("multistage_flattree.py")
+        assert "Convert bottom-up" in out
+        assert "cuts the APL" in out
+
+    def test_every_example_has_a_test(self):
+        """Adding an example without a smoke test should fail CI."""
+        scripts = {
+            f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")
+        }
+        covered = {
+            "quickstart.py",
+            "workload_aware_conversion.py",
+            "profiling_design.py",
+            "live_conversion_fct.py",
+            "self_healing.py",
+            "multistage_flattree.py",
+        }
+        assert scripts == covered

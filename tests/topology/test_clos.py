@@ -1,0 +1,160 @@
+"""Unit tests for the generic Clos parameterization and builder."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.topology.clos import (
+    ClosParams,
+    build_clos,
+    fat_tree_params,
+)
+from repro.topology.elements import AggSwitch, CoreSwitch, EdgeSwitch
+from repro.topology.stats import is_connected
+from repro.topology.validate import assert_valid
+
+
+class TestClosParamsValidation:
+    def test_r_must_divide_d(self):
+        with pytest.raises(TopologyError):
+            ClosParams(pods=2, d=3, r=2, h=4, servers_per_edge=2)
+
+    def test_r_must_divide_h(self):
+        with pytest.raises(TopologyError):
+            ClosParams(pods=2, d=4, r=2, h=3, servers_per_edge=2)
+
+    def test_positive_fields(self):
+        with pytest.raises(TopologyError):
+            ClosParams(pods=0, d=2, r=1, h=2, servers_per_edge=2)
+        with pytest.raises(TopologyError):
+            ClosParams(pods=2, d=0, r=1, h=2, servers_per_edge=2)
+        with pytest.raises(TopologyError):
+            ClosParams(pods=2, d=2, r=1, h=2, servers_per_edge=0)
+
+    def test_fat_tree_params_even_k_only(self):
+        with pytest.raises(TopologyError):
+            fat_tree_params(5)
+        with pytest.raises(TopologyError):
+            fat_tree_params(2)
+
+
+class TestDerivedSizes:
+    def test_fat_tree_8(self):
+        p = fat_tree_params(8)
+        assert (p.pods, p.d, p.r, p.h, p.servers_per_edge) == (8, 4, 1, 4, 4)
+        assert p.aggs_per_pod == 4
+        assert p.group_size == 4
+        assert p.num_cores == 16
+        assert p.num_switches == 80
+        assert p.num_servers == 128
+        assert p.servers_per_pod == 16
+
+    def test_fat_tree_port_budgets_all_k(self):
+        for k in (4, 6, 8, 10, 16):
+            p = fat_tree_params(k)
+            assert p.edge_ports == k
+            assert p.agg_ports == k
+            assert p.core_ports == k
+
+    def test_oversubscribed_layout(self):
+        # 2:1 oversubscription at the edge: more servers than uplinks.
+        p = ClosParams(pods=4, d=4, r=2, h=4, servers_per_edge=4)
+        assert p.aggs_per_pod == 2
+        assert p.group_size == 2
+        assert p.num_cores == 8
+        assert p.agg_of_edge(3) == 1
+
+    def test_core_group_partition(self):
+        p = fat_tree_params(8)
+        seen = set()
+        for j in range(p.d):
+            group = set(p.core_group(j))
+            assert len(group) == p.group_size
+            assert not group & seen
+            seen |= group
+        assert seen == set(range(p.num_cores))
+
+
+class TestServerIdScheme:
+    def test_round_trip(self):
+        p = fat_tree_params(8)
+        for pod in range(p.pods):
+            for edge in range(p.d):
+                for slot in range(p.servers_per_edge):
+                    sid = p.server_id(pod, edge, slot)
+                    assert p.server_pod(sid) == pod
+                    assert p.server_edge(sid) == edge
+                    assert p.server_slot(sid) == slot
+
+    def test_ids_dense(self):
+        p = fat_tree_params(6)
+        ids = sorted(
+            p.server_id(pod, edge, slot)
+            for pod in range(p.pods)
+            for edge in range(p.d)
+            for slot in range(p.servers_per_edge)
+        )
+        assert ids == list(range(p.num_servers))
+
+    def test_pod_servers_contiguous(self):
+        p = fat_tree_params(6)
+        assert list(p.pod_servers(0)) == list(range(p.servers_per_pod))
+        assert list(p.pod_servers(1))[0] == p.servers_per_pod
+
+    def test_bad_slot_rejected(self):
+        p = fat_tree_params(4)
+        with pytest.raises(TopologyError):
+            p.server_id(0, 0, p.servers_per_edge)
+
+
+@st.composite
+def clos_params(draw):
+    r = draw(st.integers(min_value=1, max_value=3))
+    d = r * draw(st.integers(min_value=1, max_value=4))
+    h = r * draw(st.integers(min_value=1, max_value=4))
+    return ClosParams(
+        pods=draw(st.integers(min_value=1, max_value=5)),
+        d=d,
+        r=r,
+        h=h,
+        servers_per_edge=draw(st.integers(min_value=1, max_value=4)),
+    )
+
+
+@given(clos_params())
+def test_property_build_clos_well_formed(params):
+    """Any valid ClosParams builds a valid, connected network."""
+    net = build_clos(params)
+    assert net.num_servers == params.num_servers
+    assert net.num_switches == params.num_switches
+    assert_valid(net)
+    assert is_connected(net)
+
+
+@given(clos_params())
+def test_property_clos_degrees(params):
+    """Edge/agg/core degrees follow the layout arithmetic exactly."""
+    net = build_clos(params)
+    for pod in range(params.pods):
+        for j in range(params.d):
+            edge = EdgeSwitch(pod, j)
+            assert net.degree(edge) == params.aggs_per_pod
+            assert net.server_count(edge) == params.servers_per_edge
+        for a in range(params.aggs_per_pod):
+            agg = AggSwitch(pod, a)
+            assert net.degree(agg) == params.d + params.h
+    for c in range(params.num_cores):
+        assert net.degree(CoreSwitch(c)) == params.pods
+
+
+def test_clos_agg_core_wiring_follows_groups():
+    params = fat_tree_params(6)
+    net = build_clos(params)
+    for pod in range(params.pods):
+        for j in range(params.d):
+            agg = AggSwitch(pod, params.agg_of_edge(j))
+            for c in params.core_group(j):
+                assert net.fabric.has_edge(agg, CoreSwitch(c))

@@ -1,0 +1,100 @@
+"""Unit tests for topology exporters."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.export import (
+    from_json_dict,
+    load_json,
+    save_json,
+    to_dot,
+    to_edge_list,
+    to_json_dict,
+)
+from repro.topology.elements import equipment_signature
+from repro.topology.fattree import build_fat_tree
+from repro.topology.jellyfish import build_jellyfish_like_fat_tree
+from repro.topology.twostage import build_two_stage
+from repro.topology.clos import fat_tree_params
+
+
+class TestDot:
+    def test_structure(self, fat8):
+        dot = to_dot(fat8)
+        assert dot.startswith('graph "fat-tree(k=8)"')
+        assert dot.rstrip().endswith("}")
+        assert dot.count(" -- ") == fat8.fabric.number_of_edges()
+
+    def test_layer_styles_present(self, fat8):
+        dot = to_dot(fat8)
+        assert "striped" in dot      # cores
+        assert "gray85" in dot       # aggs
+        assert "gray95" in dot       # edges
+
+    def test_servers_optional(self, fat8):
+        assert "srv_0" not in to_dot(fat8)
+        with_servers = to_dot(fat8, include_servers=True)
+        assert "srv_0" in with_servers
+        assert "style=dotted" in with_servers
+
+    def test_parallel_cables_visible(self):
+        from repro.topology.elements import Network, PlainSwitch
+
+        net = Network("p")
+        a, b = PlainSwitch(0), PlainSwitch(1)
+        net.add_switch(a, 4)
+        net.add_switch(b, 4)
+        net.add_cable(a, b)
+        net.add_cable(a, b)
+        assert "penwidth=2" in to_dot(net)
+
+
+class TestJsonRoundTrip:
+    @pytest.mark.parametrize("builder", ["fat", "jelly", "twostage"])
+    def test_round_trip_preserves_everything(self, builder):
+        if builder == "fat":
+            net = build_fat_tree(6)
+        elif builder == "jelly":
+            net = build_jellyfish_like_fat_tree(6, random.Random(0))
+        else:
+            net = build_two_stage(fat_tree_params(6), random.Random(0))
+        restored = from_json_dict(to_json_dict(net))
+        assert equipment_signature(restored) == equipment_signature(net)
+        assert set(restored.fabric.edges()) == set(net.fabric.edges())
+        assert {s: restored.server_switch(s) for s in restored.servers()} == {
+            s: net.server_switch(s) for s in net.servers()
+        }
+
+    def test_json_serializable(self, fat8):
+        text = json.dumps(to_json_dict(fat8))
+        assert from_json_dict(json.loads(text)).num_servers == 128
+
+    def test_file_round_trip(self, fat8, tmp_path):
+        path = tmp_path / "net.json"
+        save_json(fat8, str(path))
+        restored = load_json(str(path))
+        assert restored.num_cables == fat8.num_cables
+
+    def test_malformed_rejected(self):
+        with pytest.raises(TopologyError):
+            from_json_dict({"name": "x"})
+
+    def test_unknown_kind_rejected(self, fat8):
+        data = to_json_dict(fat8)
+        data["switches"][0]["id"][0] = "quantum"
+        with pytest.raises(TopologyError):
+            from_json_dict(data)
+
+
+class TestEdgeList:
+    def test_one_line_per_edge(self, fat8):
+        text = to_edge_list(fat8)
+        assert len(text.splitlines()) == fat8.fabric.number_of_edges()
+        first = text.splitlines()[0].split("\t")
+        assert len(first) == 3
+        assert float(first[2]) > 0

@@ -1,0 +1,115 @@
+"""Unit and property tests for the Jellyfish random-graph builder."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.topology.clos import fat_tree_params
+from repro.topology.fattree import build_fat_tree
+from repro.topology.jellyfish import (
+    JellyfishSpec,
+    build_jellyfish,
+    build_jellyfish_like_fat_tree,
+)
+from repro.topology.stats import is_connected
+from repro.topology.validate import assert_same_equipment, assert_valid, audit
+
+
+class TestSpec:
+    def test_rejects_too_few_switches(self):
+        with pytest.raises(TopologyError):
+            JellyfishSpec(num_switches=1, ports_per_switch=4, num_servers=1)
+
+    def test_rejects_server_overflow(self):
+        with pytest.raises(TopologyError):
+            JellyfishSpec(num_switches=2, ports_per_switch=2, num_servers=4)
+
+    def test_matching_fat_tree(self):
+        spec = JellyfishSpec.matching(fat_tree_params(8))
+        assert spec.num_switches == 80
+        assert spec.ports_per_switch == 8
+        assert spec.num_servers == 128
+
+
+class TestBuild:
+    @pytest.mark.parametrize("k", [4, 6, 8])
+    def test_same_equipment_as_fat_tree(self, k):
+        jf = build_jellyfish_like_fat_tree(k, random.Random(7))
+        assert_same_equipment(jf, build_fat_tree(k))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_valid_and_connected(self, seed):
+        jf = build_jellyfish_like_fat_tree(8, random.Random(seed))
+        assert_valid(jf)
+        assert is_connected(jf)
+
+    def test_server_spread_even(self):
+        jf = build_jellyfish_like_fat_tree(8, random.Random(0))
+        counts = [jf.server_count(s) for s in jf.switches()]
+        assert max(counts) - min(counts) <= 1
+
+    def test_no_self_loops_or_parallel(self):
+        jf = build_jellyfish_like_fat_tree(8, random.Random(0))
+        for u, v, data in jf.fabric.edges(data=True):
+            assert u != v
+            assert data["mult"] == 1
+
+    def test_nearly_all_ports_used(self):
+        jf = build_jellyfish_like_fat_tree(8, random.Random(0))
+        report = audit(jf)
+        assert report.ok
+        assert report.free_ports <= 1
+
+    def test_deterministic_under_seed(self):
+        a = build_jellyfish_like_fat_tree(6, random.Random(42))
+        b = build_jellyfish_like_fat_tree(6, random.Random(42))
+        assert set(a.fabric.edges()) == set(b.fabric.edges())
+        assert {s: a.server_switch(s) for s in a.servers()} == {
+            s: b.server_switch(s) for s in b.servers()
+        }
+
+    def test_different_seeds_differ(self):
+        a = build_jellyfish_like_fat_tree(6, random.Random(1))
+        b = build_jellyfish_like_fat_tree(6, random.Random(2))
+        assert set(a.fabric.edges()) != set(b.fabric.edges())
+
+    def test_server_ids_scattered(self):
+        """Consecutive server ids should not concentrate on one switch."""
+        jf = build_jellyfish_like_fat_tree(8, random.Random(0))
+        first_pod_block = [jf.server_switch(s) for s in range(16)]
+        assert len(set(first_pod_block)) >= 8
+
+
+@given(
+    st.integers(min_value=4, max_value=20),
+    st.integers(min_value=3, max_value=6),
+    st.integers(min_value=0, max_value=100),
+)
+def test_property_jellyfish_invariants(switches, ports, seed):
+    """Random specs: budgets respected, spread even, <=1 free port left."""
+    servers = max(1, switches * ports // 4)
+    spec = JellyfishSpec(
+        num_switches=switches, ports_per_switch=ports, num_servers=servers
+    )
+    net = build_jellyfish(spec, random.Random(seed))
+    assert net.num_servers == servers
+    counts = [net.server_count(s) for s in net.switches()]
+    assert max(counts) - min(counts) <= 1
+    for s in net.switches():
+        assert net.ports_used(s) <= net.ports(s)
+    report = audit(net, require_connected=False)
+    assert report.ok
+    # An odd stub total forces one leftover port, and a switch with more
+    # network stubs than it has possible distinct neighbors (N-1 in a
+    # simple graph) strands the excess no matter what the repair does.
+    base, extra = divmod(servers, switches)
+    unavoidable = 0
+    for i in range(switches):
+        stubs = ports - (base + (1 if i < extra else 0))
+        unavoidable += max(0, stubs - (switches - 1))
+    assert report.free_ports <= unavoidable + 3

@@ -1,0 +1,117 @@
+"""Property tests for configuration-model stub matching."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.topology.stubmatch import match_stubs, spread_evenly
+
+
+def degree_counter(edges):
+    counts = Counter()
+    for u, v in edges:
+        counts[u] += 1
+        counts[v] += 1
+    return counts
+
+
+class TestMatchStubs:
+    def test_empty(self):
+        assert match_stubs({}, random.Random(0)) == []
+
+    def test_odd_total_rejected(self):
+        with pytest.raises(TopologyError):
+            match_stubs({"a": 1, "b": 2}, random.Random(0))
+
+    def test_negative_rejected(self):
+        with pytest.raises(TopologyError):
+            match_stubs({"a": -1, "b": 1}, random.Random(0))
+
+    def test_unrealizable_simple_graph_raises(self):
+        # One node with 4 stubs, one with 2: a simple graph cannot host
+        # more than 1 edge between two nodes.
+        with pytest.raises(TopologyError):
+            match_stubs({"a": 4, "b": 4}, random.Random(0))
+
+    def test_parallel_allowed_realizes_multigraph(self):
+        edges = match_stubs({"a": 4, "b": 4}, random.Random(0),
+                            allow_parallel=True)
+        assert degree_counter(edges) == {"a": 4, "b": 4}
+        assert all(u != v for u, v in edges)
+
+
+@given(
+    st.dictionaries(
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=0, max_value=4),
+        min_size=4,
+        max_size=12,
+    ),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_property_degree_sequence_preserved(stubs, seed):
+    total = sum(stubs.values())
+    if total % 2 == 1:
+        # Make the instance matchable.
+        key = next(iter(stubs))
+        stubs[key] += 1
+    try:
+        edges = match_stubs(dict(stubs), random.Random(seed),
+                            allow_parallel=True)
+    except TopologyError:
+        return  # unlucky unrealizable draw; nothing to assert
+    counts = degree_counter(edges)
+    for node, degree in stubs.items():
+        assert counts.get(node, 0) == degree
+    assert all(u != v for u, v in edges)
+
+
+@given(
+    st.integers(min_value=4, max_value=12),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_property_simple_regular_graph(nodes, seed):
+    """3-regular simple graphs exist for any even-stub node set >= 4."""
+    stubs = {i: 3 for i in range(nodes)}
+    if (3 * nodes) % 2 == 1:
+        stubs[0] = 4
+    edges = match_stubs(stubs, random.Random(seed))
+    seen = set()
+    for u, v in edges:
+        assert u != v
+        key = frozenset((u, v))
+        assert key not in seen
+        seen.add(key)
+
+
+class TestSpreadEvenly:
+    def test_exact_division(self):
+        assert spread_evenly(12, 4, random.Random(0)) == [3, 3, 3, 3]
+
+    def test_remainder_distributed(self):
+        parts = spread_evenly(10, 4, random.Random(0))
+        assert sum(parts) == 10
+        assert sorted(parts) == [2, 2, 3, 3]
+
+    def test_zero_total(self):
+        assert spread_evenly(0, 3, random.Random(0)) == [0, 0, 0]
+
+    def test_bad_buckets(self):
+        with pytest.raises(TopologyError):
+            spread_evenly(5, 0, random.Random(0))
+
+    @given(
+        st.integers(min_value=0, max_value=100),
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=0, max_value=99),
+    )
+    def test_property_sum_and_balance(self, total, buckets, seed):
+        parts = spread_evenly(total, buckets, random.Random(seed))
+        assert sum(parts) == total
+        assert max(parts) - min(parts) <= 1

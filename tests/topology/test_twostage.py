@@ -1,0 +1,104 @@
+"""Unit tests for the two-stage random graph baseline."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.topology.clos import fat_tree_params
+from repro.topology.elements import CoreSwitch
+from repro.topology.fattree import build_fat_tree
+from repro.topology.stats import is_connected
+from repro.topology.twostage import PodSwitch, build_two_stage
+from repro.topology.validate import assert_same_equipment, assert_valid
+
+
+@pytest.mark.parametrize("k", [4, 6, 8])
+def test_same_equipment_as_fat_tree(k):
+    ts = build_two_stage(fat_tree_params(k), random.Random(3))
+    assert_same_equipment(ts, build_fat_tree(k))
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_valid_and_connected(seed):
+    ts = build_two_stage(fat_tree_params(8), random.Random(seed))
+    assert_valid(ts)
+    assert is_connected(ts)
+
+
+def test_pod_switch_inventory():
+    params = fat_tree_params(8)
+    ts = build_two_stage(params, random.Random(0))
+    pod_switches = ts.switches_of_kind("podsw")
+    assert len(pod_switches) == params.pods * (params.d + params.aggs_per_pod)
+    assert len(ts.switches_of_kind("core")) == params.num_cores
+
+
+def test_intra_pod_link_count_matches_clos():
+    """Each Pod's internal random graph has exactly d * d/r links."""
+    params = fat_tree_params(8)
+    ts = build_two_stage(params, random.Random(0))
+    expected = params.d * params.aggs_per_pod
+    for pod in range(params.pods):
+        internal = 0
+        for u, v, data in ts.fabric.edges(data=True):
+            if (
+                isinstance(u, PodSwitch)
+                and isinstance(v, PodSwitch)
+                and u.pod == pod
+                and v.pod == pod
+            ):
+                internal += data["mult"]
+        assert internal == expected
+
+
+def test_pod_uplink_count_matches_clos():
+    """Each Pod exposes d * h/r core-facing links (to cores or other Pods)."""
+    params = fat_tree_params(8)
+    ts = build_two_stage(params, random.Random(0))
+    expected = params.d * params.group_size
+    for pod in range(params.pods):
+        external = 0
+        for u, v, data in ts.fabric.edges(data=True):
+            u_in = isinstance(u, PodSwitch) and u.pod == pod
+            v_in = isinstance(v, PodSwitch) and v.pod == pod
+            if u_in != v_in:
+                external += data["mult"]
+        assert external == expected
+
+
+def test_core_degree_is_pods():
+    params = fat_tree_params(6)
+    ts = build_two_stage(params, random.Random(0))
+    for c in range(params.num_cores):
+        assert ts.degree(CoreSwitch(c)) == params.pods
+
+
+def test_servers_stay_in_their_pod():
+    """Server ids keep the dense Pod-major scheme (Pod p hosts its ids)."""
+    params = fat_tree_params(6)
+    ts = build_two_stage(params, random.Random(0))
+    for pod in range(params.pods):
+        for server in params.pod_servers(pod):
+            host = ts.server_switch(server)
+            assert isinstance(host, PodSwitch)
+            assert host.pod == pod
+
+
+def test_servers_spread_within_pod():
+    params = fat_tree_params(8)
+    ts = build_two_stage(params, random.Random(0))
+    for pod in range(params.pods):
+        counts = [
+            ts.server_count(s)
+            for s in ts.switches_of_kind("podsw")
+            if s.pod == pod
+        ]
+        assert max(counts) - min(counts) <= 1
+
+
+def test_deterministic_under_seed():
+    a = build_two_stage(fat_tree_params(6), random.Random(9))
+    b = build_two_stage(fat_tree_params(6), random.Random(9))
+    assert set(a.fabric.edges()) == set(b.fabric.edges())

@@ -1,0 +1,78 @@
+"""Unit tests for topology audits."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.elements import Network, PlainSwitch
+from repro.topology.fattree import build_fat_tree
+from repro.topology.validate import (
+    assert_same_equipment,
+    assert_valid,
+    audit,
+)
+
+
+def test_audit_ok_on_fat_tree(fat8):
+    report = audit(fat8)
+    assert report.ok
+    assert report.free_ports == 0
+    assert report.num_switches == 80
+    assert report.num_servers == 128
+
+
+def test_audit_counts_free_ports():
+    net = Network("t")
+    a, b = PlainSwitch(0), PlainSwitch(1)
+    net.add_switch(a, 4)
+    net.add_switch(b, 4)
+    net.add_cable(a, b)
+    report = audit(net, require_connected=False)
+    assert report.free_ports == 6
+
+
+def test_audit_flags_disconnection():
+    net = Network("t")
+    net.add_switch(PlainSwitch(0), 2)
+    net.add_switch(PlainSwitch(1), 2)
+    report = audit(net)
+    assert not report.ok
+    assert any("not connected" in p for p in report.problems)
+    assert audit(net, require_connected=False).ok
+
+
+def test_audit_detects_ledger_desync():
+    net = Network("t")
+    a, b = PlainSwitch(0), PlainSwitch(1)
+    net.add_switch(a, 4)
+    net.add_switch(b, 4)
+    net.add_cable(a, b)
+    # Corrupt the ledger behind the API's back.
+    net._ports_used[a] = 0
+    report = audit(net, require_connected=False)
+    assert any("out of sync" in p for p in report.problems)
+
+
+def test_assert_valid_raises_with_context():
+    net = Network("broken")
+    net.add_switch(PlainSwitch(0), 2)
+    net.add_switch(PlainSwitch(1), 2)
+    with pytest.raises(TopologyError, match="broken"):
+        assert_valid(net)
+
+
+def test_same_equipment_accepts_isomorphic_budgets(fat8):
+    assert_same_equipment(fat8, build_fat_tree(8))
+
+
+def test_same_equipment_rejects_server_mismatch(fat8):
+    other = build_fat_tree(8)
+    other.detach_server(0)
+    with pytest.raises(TopologyError, match="equipment mismatch"):
+        assert_same_equipment(fat8, other)
+
+
+def test_same_equipment_rejects_different_k(fat8):
+    with pytest.raises(TopologyError):
+        assert_same_equipment(fat8, build_fat_tree(6))

@@ -1,0 +1,74 @@
+"""Unit tests for service clusters."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import TrafficError
+from repro.traffic.clusters import Cluster, cluster_count, make_clusters
+
+
+class TestCluster:
+    def test_minimum_size(self):
+        with pytest.raises(TrafficError):
+            Cluster(members=(1,))
+
+    def test_hotspot_range_checked(self):
+        with pytest.raises(TrafficError):
+            Cluster(members=(1, 2), hotspot=2)
+
+    def test_hotspot_server(self):
+        c = Cluster(members=(10, 20, 30), hotspot=1)
+        assert c.hotspot_server == 20
+
+    def test_hotspot_missing_raises(self):
+        c = Cluster(members=(10, 20))
+        with pytest.raises(TrafficError):
+            _ = c.hotspot_server
+
+    def test_wrapped_members_allowed(self):
+        # Logical members may share a server (small-k wrap, see module doc).
+        c = Cluster(members=(5, 5, 7), hotspot=0)
+        assert c.size == 3
+
+
+class TestClusterCount:
+    def test_disjoint_clusters(self):
+        assert cluster_count(128, 20) == 6
+
+    def test_wrapped_single_cluster(self):
+        assert cluster_count(16, 20) == 1
+        assert cluster_count(999, 1000) == 1
+
+    def test_exact_fit(self):
+        assert cluster_count(100, 20) == 5
+
+    def test_bad_size(self):
+        with pytest.raises(TrafficError):
+            cluster_count(100, 1)
+
+
+class TestMakeClusters:
+    def test_slices_in_order(self):
+        placement = list(range(40))
+        clusters = make_clusters(placement, 20)
+        assert len(clusters) == 2
+        assert clusters[0].members == tuple(range(20))
+        assert clusters[1].members == tuple(range(20, 40))
+
+    def test_length_must_divide(self):
+        with pytest.raises(TrafficError):
+            make_clusters(list(range(30)), 20)
+
+    def test_hotspots_assigned_and_seeded(self):
+        placement = list(range(60))
+        a = make_clusters(placement, 20, random.Random(5), with_hotspots=True)
+        b = make_clusters(placement, 20, random.Random(5), with_hotspots=True)
+        assert all(c.hotspot is not None for c in a)
+        assert [c.hotspot for c in a] == [c.hotspot for c in b]
+
+    def test_no_hotspots_by_default(self):
+        clusters = make_clusters(list(range(20)), 20)
+        assert clusters[0].hotspot is None

@@ -1,0 +1,152 @@
+"""Unit and property tests for flow workload generation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TrafficError
+from repro.traffic.flowgen import (
+    DATA_MINING,
+    FIXED_UNIT,
+    UNIFORM,
+    WEB_SEARCH,
+    SizeCDF,
+    hotspot_pairs,
+    poisson_flows,
+    uniform_pairs,
+)
+
+
+class TestSizeCDF:
+    def test_knot_validation(self):
+        with pytest.raises(TrafficError):
+            SizeCDF("bad", ((1.0, 0.0),))
+        with pytest.raises(TrafficError):
+            SizeCDF("bad", ((1.0, 0.0), (0.5, 1.0)))  # sizes decrease
+        with pytest.raises(TrafficError):
+            SizeCDF("bad", ((1.0, 0.0), (2.0, 0.5)))  # ends below 1
+
+    def test_samples_within_support(self):
+        rng = random.Random(0)
+        for cdf in (WEB_SEARCH, DATA_MINING, UNIFORM):
+            lo = cdf.knots[0][0]
+            hi = cdf.knots[-1][0]
+            for _ in range(500):
+                assert lo <= cdf.sample(rng) <= hi
+
+    def test_fixed_unit_is_constant(self):
+        rng = random.Random(0)
+        assert all(
+            FIXED_UNIT.sample(rng) == pytest.approx(1.0, abs=1e-9)
+            for _ in range(50)
+        )
+
+    def test_means_normalized_to_order_one(self):
+        for cdf in (WEB_SEARCH, DATA_MINING, UNIFORM):
+            assert 0.3 <= cdf.mean(samples=5000) <= 3.0
+
+    def test_data_mining_heavier_tail(self):
+        """More mice AND bigger elephants than web-search."""
+        rng = random.Random(1)
+        dm = sorted(DATA_MINING.sample(rng) for _ in range(4000))
+        rng = random.Random(1)
+        ws = sorted(WEB_SEARCH.sample(rng) for _ in range(4000))
+        assert dm[2000] < ws[2000]   # median mouse-ier
+        assert dm[-10] > ws[-10]     # tail heavier
+
+
+class TestPairPickers:
+    def test_uniform_pairs_distinct(self):
+        pick = uniform_pairs(range(10))
+        rng = random.Random(0)
+        for _ in range(200):
+            a, b = pick(rng)
+            assert a != b
+            assert 0 <= a < 10 and 0 <= b < 10
+
+    def test_uniform_needs_two(self):
+        with pytest.raises(TrafficError):
+            uniform_pairs([1])
+
+    def test_hotspot_pairs_always_touch_hotspot(self):
+        pick = hotspot_pairs(range(10), hotspot=3)
+        rng = random.Random(0)
+        for _ in range(200):
+            a, b = pick(rng)
+            assert 3 in (a, b)
+            assert a != b
+
+    def test_incast_fraction_extremes(self):
+        rng = random.Random(0)
+        all_in = hotspot_pairs(range(5), 0, incast_fraction=1.0)
+        assert all(all_in(rng)[1] == 0 for _ in range(50))
+        all_out = hotspot_pairs(range(5), 0, incast_fraction=0.0)
+        assert all(all_out(rng)[0] == 0 for _ in range(50))
+
+    def test_bad_fraction(self):
+        with pytest.raises(TrafficError):
+            hotspot_pairs(range(5), 0, incast_fraction=1.5)
+
+
+class TestPoissonFlows:
+    def test_arrivals_sorted_within_duration(self):
+        flows = poisson_flows(
+            uniform_pairs(range(8)), rate=50, duration=2.0,
+            rng=random.Random(0),
+        )
+        arrivals = [f.arrival for f in flows]
+        assert arrivals == sorted(arrivals)
+        assert all(0 <= a < 2.0 for a in arrivals)
+
+    def test_rate_controls_count(self):
+        low = poisson_flows(uniform_pairs(range(8)), 10, 5.0,
+                            rng=random.Random(0))
+        high = poisson_flows(uniform_pairs(range(8)), 100, 5.0,
+                             rng=random.Random(0))
+        assert len(high) > 3 * len(low)
+
+    def test_ids_unique_and_offset(self):
+        flows = poisson_flows(uniform_pairs(range(8)), 30, 1.0,
+                              rng=random.Random(0), start_id=100)
+        ids = [f.flow_id for f in flows]
+        assert len(set(ids)) == len(ids)
+        assert min(ids) == 100
+
+    def test_validation(self):
+        with pytest.raises(TrafficError):
+            poisson_flows(uniform_pairs(range(8)), 0, 1.0)
+        with pytest.raises(TrafficError):
+            poisson_flows(uniform_pairs(range(8)), 10, 0)
+
+    def test_feeds_the_simulator(self, path3):
+        """End to end: generated flows run through the fluid simulator."""
+        from repro.flowsim.simulator import FlowSimulator
+        from repro.routing.base import Path
+        from repro.topology.elements import PlainSwitch
+
+        def router(src, dst, _fid):
+            a = path3.server_switch(src)
+            b = path3.server_switch(dst)
+            if a == b:
+                return Path((a,))
+            return Path((PlainSwitch(0), PlainSwitch(1), PlainSwitch(2)))
+
+        flows = poisson_flows(
+            uniform_pairs([0, 1]), rate=20, duration=1.0,
+            sizes=FIXED_UNIT, rng=random.Random(0),
+        )
+        result = FlowSimulator(path3, router).run(flows)
+        assert len(result.completed) == len(flows)
+
+
+@given(st.integers(min_value=0, max_value=1000))
+def test_property_samples_monotone_in_u(seed):
+    """Inverse-transform sampling respects the CDF's ordering."""
+    rng = random.Random(seed)
+    samples = sorted(WEB_SEARCH.sample(rng) for _ in range(100))
+    assert samples[0] >= WEB_SEARCH.knots[0][0]
+    assert samples[-1] <= WEB_SEARCH.knots[-1][0]

@@ -1,0 +1,101 @@
+"""Unit tests for traffic patterns."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.errors import TrafficError
+from repro.traffic.clusters import Cluster
+from repro.traffic.patterns import (
+    all_to_all_commodities,
+    broadcast_commodities,
+    incast_commodities,
+    permutation_commodities,
+    uniform_commodities,
+)
+
+
+@pytest.fixture()
+def cluster():
+    return Cluster(members=(10, 20, 30, 40), hotspot=1)
+
+
+class TestBroadcast:
+    def test_hotspot_to_everyone(self, cluster):
+        comms = broadcast_commodities([cluster])
+        assert len(comms) == 3
+        assert all(c.src == 20 for c in comms)
+        assert {c.dst for c in comms} == {10, 30, 40}
+
+    def test_wrapped_hotspot_server_skipped(self):
+        # Member 2 shares the hotspot's server; no self-commodity.
+        c = Cluster(members=(10, 20, 20, 30), hotspot=1)
+        comms = broadcast_commodities([c])
+        assert {x.dst for x in comms} == {10, 30}
+
+    def test_multiple_clusters_concat(self, cluster):
+        other = Cluster(members=(50, 60), hotspot=0)
+        comms = broadcast_commodities([cluster, other])
+        assert len(comms) == 4
+
+    def test_needs_hotspot(self):
+        c = Cluster(members=(1, 2))
+        with pytest.raises(TrafficError):
+            broadcast_commodities([c])
+
+
+class TestIncast:
+    def test_reverse_of_broadcast(self, cluster):
+        fwd = broadcast_commodities([cluster])
+        rev = incast_commodities([cluster])
+        assert {(c.src, c.dst) for c in rev} == {
+            (c.dst, c.src) for c in fwd
+        }
+
+
+class TestAllToAll:
+    def test_ordered_pairs(self, cluster):
+        comms = all_to_all_commodities([cluster])
+        assert len(comms) == 4 * 3
+        pairs = Counter((c.src, c.dst) for c in comms)
+        assert pairs[(10, 20)] == 1
+        assert pairs[(20, 10)] == 1
+
+    def test_wrapped_members_skip_self_pairs(self):
+        c = Cluster(members=(10, 10, 20))
+        comms = all_to_all_commodities([c])
+        pairs = Counter((x.src, x.dst) for x in comms)
+        assert (10, 10) not in pairs
+        assert pairs[(10, 20)] == 2  # both wrapped members talk to 20
+
+    def test_fully_colocated_cluster_raises(self):
+        c = Cluster(members=(7, 7, 7))
+        with pytest.raises(TrafficError):
+            all_to_all_commodities([c])
+
+
+class TestPermutation:
+    def test_no_fixed_points(self):
+        servers = list(range(10))
+        comms = permutation_commodities(servers, random.Random(0))
+        assert len(comms) == 10
+        assert all(c.src != c.dst for c in comms)
+        assert Counter(c.dst for c in comms) == Counter(servers)
+
+    def test_needs_two_servers(self):
+        with pytest.raises(TrafficError):
+            permutation_commodities([1], random.Random(0))
+
+
+class TestUniform:
+    def test_pair_count(self):
+        comms = uniform_commodities(list(range(10)), 25, random.Random(0))
+        assert len(comms) == 25
+        assert all(c.src != c.dst for c in comms)
+
+    def test_needs_two_servers(self):
+        with pytest.raises(TrafficError):
+            uniform_commodities([3], 5, random.Random(0))

@@ -1,0 +1,124 @@
+"""Unit and property tests for placement policies."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TrafficError
+from repro.topology.clos import fat_tree_params
+from repro.traffic.placement import (
+    place_continuous,
+    place_random_global,
+    place_random_in_pods,
+    placement_by_name,
+    pod_groups,
+)
+
+
+class TestContinuous:
+    def test_identity_when_members_fit(self):
+        assert place_continuous(5, 10) == [0, 1, 2, 3, 4]
+
+    def test_wraps_when_members_exceed(self):
+        assert place_continuous(5, 3) == [0, 1, 2, 0, 1]
+
+    def test_validation(self):
+        with pytest.raises(TrafficError):
+            place_continuous(0, 10)
+        with pytest.raises(TrafficError):
+            place_continuous(5, 0)
+
+
+class TestRandomGlobal:
+    def test_no_repeats_when_members_fit(self):
+        placement = place_random_global(10, 50, random.Random(0))
+        assert len(set(placement)) == 10
+
+    def test_balanced_wrap(self):
+        placement = place_random_global(25, 10, random.Random(0))
+        counts = Counter(placement)
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_seeded_determinism(self):
+        a = place_random_global(10, 50, random.Random(3))
+        b = place_random_global(10, 50, random.Random(3))
+        assert a == b
+
+
+class TestRandomInPods:
+    def test_cluster_stays_in_one_pod_when_it_fits(self):
+        params = fat_tree_params(8)  # 16 servers per pod
+        placement = place_random_in_pods(16 * 4, params, 16, random.Random(0))
+        for start in range(0, len(placement), 16):
+            chunk = placement[start:start + 16]
+            pods = {params.server_pod(s) for s in chunk}
+            assert len(pods) == 1
+
+    def test_each_server_used_once_when_members_fit(self):
+        params = fat_tree_params(4)
+        placement = place_random_in_pods(16, params, 4, random.Random(0))
+        assert sorted(placement) == list(range(16))
+
+    def test_spills_across_pods_when_cluster_exceeds_pod(self):
+        params = fat_tree_params(4)  # 4 servers per pod
+        placement = place_random_in_pods(8, params, 8, random.Random(0))
+        pods = {params.server_pod(s) for s in placement}
+        assert len(pods) >= 2
+
+    def test_wraps_when_pool_exhausted(self):
+        params = fat_tree_params(4)  # 16 servers total
+        placement = place_random_in_pods(32, params, 16, random.Random(0))
+        counts = Counter(placement)
+        assert max(counts.values()) == 2
+
+    def test_multiple_of_cluster_size_required(self):
+        params = fat_tree_params(4)
+        with pytest.raises(TrafficError):
+            place_random_in_pods(10, params, 4, random.Random(0))
+
+
+class TestDispatch:
+    @pytest.mark.parametrize(
+        "name", ["locality", "weak locality", "no locality"]
+    )
+    def test_known_names(self, name):
+        params = fat_tree_params(4)
+        placement = placement_by_name(name, 16, params, 4, random.Random(0))
+        assert len(placement) == 16
+        assert all(0 <= s < params.num_servers for s in placement)
+
+    def test_unknown_name(self):
+        params = fat_tree_params(4)
+        with pytest.raises(TrafficError):
+            placement_by_name("sideways", 16, params, 4, random.Random(0))
+
+
+def test_pod_groups_cover_all_servers():
+    params = fat_tree_params(6)
+    groups = pod_groups(params)
+    flat = [s for g in groups for s in g]
+    assert sorted(flat) == list(range(params.num_servers))
+
+
+@given(
+    st.sampled_from(["locality", "weak locality", "no locality"]),
+    st.sampled_from([4, 6, 8]),
+    st.integers(min_value=0, max_value=100),
+)
+def test_property_placements_cover_members(name, k, seed):
+    """Every policy returns exactly the requested number of members and
+    balances the wrap when members exceed the pool."""
+    params = fat_tree_params(k)
+    cluster = 10
+    members = 2 * params.num_servers // cluster * cluster or cluster
+    placement = placement_by_name(
+        name, members, params, cluster, random.Random(seed)
+    )
+    assert len(placement) == members
+    counts = Counter(placement)
+    assert max(counts.values()) - min(counts.values()) <= 1 or name != "locality"

@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench figures examples lint clean
+.PHONY: install test bench figures examples lint clean telemetry-smoke
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -15,6 +15,13 @@ test-fast:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Run one small experiment with telemetry enabled and validate the JSONL
+# stream against the wire contract in docs/observability.md.
+telemetry-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli --telemetry=telemetry-smoke.jsonl fig5 --ks 4
+	$(PYTHON) tools/check_telemetry.py telemetry-smoke.jsonl --min-names 12
+	rm -f telemetry-smoke.jsonl
 
 figures:
 	$(PYTHON) -m repro.cli fig5

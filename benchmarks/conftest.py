@@ -15,20 +15,52 @@ Experiments are seconds-long, so benches run one round by default
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
 
+from repro import obs
+
 #: Reproduced tables are appended here (pytest captures stdout on
 #: passing runs, so the file is the durable record of a bench session).
 RESULTS_PATH = os.path.join(os.path.dirname(__file__), "RESULTS.txt")
+
+#: Per-test registry snapshots from the last bench session, so BENCH
+#: entries carry internal counters (solver iterations, repair loops,
+#: cache hits), not just wall clock.  Set ``REPRO_TELEMETRY=0`` to
+#: benchmark the disabled-mode fast path instead.
+METRICS_PATH = os.path.join(os.path.dirname(__file__), "METRICS.json")
+
+_snapshots: dict = {}
 
 
 @pytest.fixture(scope="session", autouse=True)
 def _fresh_results_file():
     with open(RESULTS_PATH, "w", encoding="utf-8") as handle:
         handle.write("# reproduced tables from the last benchmark run\n")
+    collect = os.environ.get("REPRO_TELEMETRY", "1") != "0"
+    if collect:
+        obs.enable()  # metrics only: no sink, no per-event cost
     yield
+    if collect:
+        obs.disable()
+        with open(METRICS_PATH, "w", encoding="utf-8") as handle:
+            json.dump(_snapshots, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+
+
+@pytest.fixture(autouse=True)
+def _metrics_snapshot(request):
+    """Isolate and record each bench's registry contents."""
+    if not obs.enabled():
+        yield
+        return
+    obs.registry.reset()
+    yield
+    snap = obs.registry.snapshot()
+    if snap:
+        _snapshots[request.node.nodeid] = snap
 
 
 @pytest.fixture()

@@ -10,14 +10,17 @@ candidate, and keep the design with the shortest average path length.
 This example profiles two different plants — the paper's fat-tree(12)
 and a 2:1 oversubscribed Clos — and shows where the resulting design
 lands relative to the fat-tree and same-equipment random-graph
-baselines.
+baselines.  It doubles as a telemetry demo: each phase runs inside an
+``obs.span`` (JSONL progress events on stderr) and the script ends with
+the metrics the sweep accumulated — per-candidate timings, skipped
+candidates, conversion churn.
 
 Run:  python examples/profiling_design.py
 """
 
 import random
 
-from repro import FlatTree, Mode, convert, fat_tree_params, profile_mn
+from repro import FlatTree, Mode, convert, fat_tree_params, obs, profile_mn
 from repro.core.design import FlatTreeDesign
 from repro.topology import (
     ClosParams,
@@ -30,25 +33,29 @@ from repro.topology import (
 
 def profile_and_report(params: ClosParams, label: str, grid=None) -> None:
     print(f"=== profiling {label} ===")
-    result = profile_mn(params, candidates=grid)
+    with obs.span("profile_plant", plant=label):
+        result = profile_mn(params, candidates=grid)
     print(f"{'m':>3} {'n':>3} {'pattern':>9} {'APL':>8}")
     for row in result.as_rows():
         marker = "  <-- chosen" if row["best"] else ""
         print(f"{row['m']:>3} {row['n']:>3} {row['pattern']:>9} "
               f"{row['apl']:>8.4f}{marker}")
+    for cand in result.skipped:
+        print(f"  (skipped m={cand.m} n={cand.n}: {cand.reason})")
 
     best = result.best
     design = FlatTreeDesign(
         params=params, m=best.m, n=best.n, pattern=best.pattern
     )
-    flat = convert(FlatTree(design), Mode.GLOBAL_RANDOM)
-    clos = build_clos(params)
-    jelly = build_jellyfish(
-        JellyfishSpec.matching(params), random.Random(0)
-    )
-    flat_apl = average_server_path_length(flat)
-    clos_apl = average_server_path_length(clos)
-    jelly_apl = average_server_path_length(jelly)
+    with obs.span("baselines", plant=label):
+        flat = convert(FlatTree(design), Mode.GLOBAL_RANDOM)
+        clos = build_clos(params)
+        jelly = build_jellyfish(
+            JellyfishSpec.matching(params), random.Random(0)
+        )
+        flat_apl = average_server_path_length(flat)
+        clos_apl = average_server_path_length(clos)
+        jelly_apl = average_server_path_length(jelly)
     print(f"\n  Clos baseline       {clos_apl:.4f} hops")
     print(f"  profiled flat-tree  {flat_apl:.4f} hops "
           f"({100 * (clos_apl - flat_apl) / clos_apl:.1f}% below Clos)")
@@ -58,6 +65,8 @@ def profile_and_report(params: ClosParams, label: str, grid=None) -> None:
 
 
 def main() -> None:
+    obs.enable(obs.StderrSink())  # span events trace progress on stderr
+
     # The paper's evaluation plant: fat-tree(12).
     profile_and_report(fat_tree_params(12), "fat-tree(12)")
 
@@ -66,6 +75,10 @@ def main() -> None:
     oversubscribed = ClosParams(pods=6, d=4, r=2, h=4, servers_per_edge=4)
     grid = [(m, n) for m in (1, 2) for n in (1, 2)]
     profile_and_report(oversubscribed, "oversubscribed Clos (r=2)", grid)
+
+    print("=== telemetry accumulated by the sweeps ===")
+    print(obs.render_table())
+    obs.disable()
 
 
 if __name__ == "__main__":

@@ -15,7 +15,9 @@ Public API layers:
   and Garg-Könemann approximation), the paper's throughput metric;
 * :mod:`repro.traffic` — cluster workloads and placement policies;
 * :mod:`repro.flowsim` — flow-level fluid simulation (extension);
-* :mod:`repro.experiments` — one module per paper figure/table.
+* :mod:`repro.experiments` — one module per paper figure/table;
+* :mod:`repro.obs` — telemetry: metrics registry, span tracing, sinks
+  (disabled by default; ``obs.enable()`` or the CLI's ``--telemetry``).
 
 Quickstart::
 
@@ -26,6 +28,7 @@ Quickstart::
     network = convert(flattree, Mode.GLOBAL_RANDOM)
 """
 
+from repro import obs
 from repro.core.controller import Controller, ReconfigurationPlan
 from repro.core.conversion import Mode, convert
 from repro.core.design import FlatTreeDesign
@@ -73,6 +76,7 @@ __all__ = [
     "build_two_stage",
     "convert",
     "fat_tree_params",
+    "obs",
     "profile_mn",
     "profiled_design",
     "proportional_layout",

@@ -12,9 +12,15 @@ Examples::
     flattree schedule --k 8 --technology mems
     flattree export --k 8 --mode global-random --format dot
     flattree downscale --k 8 --floor 0.5
+    flattree info                          # versions + telemetry sinks
+    flattree --telemetry fig5 --ks 4      # spans/metrics JSONL to stderr
+    flattree --telemetry=run.jsonl fig5   # ... or to a file
 
 Every subcommand prints an aligned text table (the library's equivalent
-of the paper's figures) to stdout.
+of the paper's figures) to stdout.  The global ``--telemetry`` flag
+(before the subcommand) enables the :mod:`repro.obs` subsystem: JSONL
+events stream to stderr or the given path, and a final metrics table is
+printed after the subcommand finishes.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro import __version__, obs
 from repro.core.controller import Controller
 from repro.core.conversion import Mode
 from repro.core.design import FlatTreeDesign
@@ -39,12 +46,35 @@ from repro.topology.stats import server_counts_by_kind
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point (console script ``flattree``)."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    # Bare ``--telemetry`` would greedily swallow the subcommand name
+    # (argparse nargs="?"); normalize it to the explicit stderr form.
+    argv = ["--telemetry=-" if tok == "--telemetry" else tok
+            for tok in argv]
     parser = _build_parser()
     args = parser.parse_args(argv)
     if not hasattr(args, "handler"):
         parser.print_help()
         return 2
-    return args.handler(args)
+    if args.telemetry is None:
+        return args.handler(args)
+    return _run_with_telemetry(args)
+
+
+def _run_with_telemetry(args) -> int:
+    """Run a handler under an enabled obs subsystem; print the table."""
+    sink = (obs.StderrSink() if args.telemetry in ("-", "")
+            else obs.FileSink(args.telemetry))
+    obs.registry.reset()
+    obs.enable(sink, emit_metric_events=True)
+    try:
+        with obs.span("cli", command=args.command):
+            code = args.handler(args)
+        print("\n== telemetry ==")
+        print(obs.render_table())
+    finally:
+        obs.disable()
+    return code
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -52,7 +82,15 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="flattree",
         description="Flat-tree (HotNets 2016) reproduction experiments",
     )
-    sub = parser.add_subparsers(title="experiments")
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    parser.add_argument(
+        "--telemetry", nargs="?", const="-", default=None, metavar="PATH",
+        help="enable telemetry; JSONL events go to PATH (default: stderr) "
+             "and a final metrics table is printed",
+    )
+    sub = parser.add_subparsers(title="experiments", dest="command")
 
     for name, runner, note in (
         ("fig5", run_fig5, "average path length, entire network"),
@@ -134,6 +172,13 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(handler=_report_handler)
 
+    p = sub.add_parser("fct",
+                       help="flow-level FCT per mode under ksp routing")
+    p.add_argument("--ks", type=int, nargs="+", default=[4, 6])
+    p.add_argument("--flows", type=int, default=24)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(handler=_fct_handler)
+
     p = sub.add_parser("downscale",
                        help="sleep core switches under a throughput floor")
     p.add_argument("--k", type=int, required=True)
@@ -142,6 +187,10 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="random idle flows to protect")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(handler=_downscale_handler)
+
+    p = sub.add_parser("info",
+                       help="package version, dependencies, telemetry sinks")
+    p.set_defaults(handler=_info_handler)
     return parser
 
 
@@ -182,6 +231,29 @@ def _profile_handler(args) -> int:
             f"{row['m']:>3}  {row['n']:>3}  {row['pattern']:>8}  "
             f"{row['apl']:>8.4f}{mark}"
         )
+    for cand in result.skipped:
+        print(f"# skipped m={cand.m} n={cand.n}: {cand.reason}")
+    return 0
+
+
+def _info_handler(args) -> int:
+    import platform
+
+    import networkx
+
+    print(f"repro {__version__}")
+    print(f"python {platform.python_version()} on {platform.system()}")
+    print(f"networkx {networkx.__version__}")
+    for dep in ("numpy", "scipy"):
+        try:
+            module = __import__(dep)
+            print(f"{dep} {module.__version__}")
+        except ImportError:
+            print(f"{dep} (not installed)")
+    if obs.enabled():
+        print(f"telemetry: enabled -> {obs.current_sink().describe()}")
+    else:
+        print("telemetry: disabled (run with --telemetry[=PATH])")
     return 0
 
 
@@ -299,6 +371,15 @@ def _report_handler(args) -> int:
     report = write_report(args.out, scale=scale, seed=args.seed)
     print(f"wrote {args.out}: {len(report.results)} experiments at "
           f"scale {scale.name!r}")
+    return 0
+
+
+def _fct_handler(args) -> int:
+    from repro.experiments.fct import run_fct
+
+    result = run_fct(ks=tuple(args.ks), flows=args.flows, seed=args.seed)
+    print(f"== {result.experiment} ==")
+    print(result.table())
     return 0
 
 

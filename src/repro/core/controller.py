@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from repro import obs
 from repro.errors import RoutingError
 from repro.core.conversion import Mode, hybrid_configs, mode_configs
 from repro.core.converter import ConverterConfig, ConverterId
@@ -93,14 +94,16 @@ class Controller:
 
     def apply_layout(self, layout: ZoneLayout) -> ReconfigurationPlan:
         """Convert to a hybrid zone layout and return the plan executed."""
-        target = hybrid_configs(self.flattree, layout.pod_modes())
-        plan = self._plan(target)
-        self.flattree.set_configs(target)
-        self.layout = layout
-        self._network = None
-        self._route_cache.clear()
-        self.history.append(plan)
-        return plan
+        modes = sorted({m.value for m in layout.pod_modes().values()})
+        with obs.span("apply_layout", modes=",".join(modes)):
+            target = hybrid_configs(self.flattree, layout.pod_modes())
+            plan = self._plan(target)
+            self.flattree.set_configs(target)
+            self.layout = layout
+            self._network = None
+            self._route_cache.clear()
+            self.history.append(plan)
+            return plan
 
     def _plan(
         self, target: Mapping[ConverterId, ConverterConfig]
@@ -130,6 +133,11 @@ class Controller:
                 f"{len(moved)} servers on new switches)",
                 "recompute routes and re-install SDN programs",
             ]
+        obs.incr("core.controller.plans")
+        obs.incr("core.controller.reprogrammed", len(changes))
+        obs.incr("core.controller.links_removed", len(removed))
+        obs.incr("core.controller.links_added", len(added))
+        obs.incr("core.controller.servers_moved", len(moved))
         return ReconfigurationPlan(
             config_changes=changes,
             links_removed=removed,
@@ -190,7 +198,10 @@ class Controller:
             ]
         key = (src_sw, dst_sw)
         if key not in self._route_cache:
+            obs.incr("core.controller.route_cache_misses")
             self._route_cache[key] = k_shortest_paths(net, src_sw, dst_sw)
+        else:
+            obs.incr("core.controller.route_cache_hits")
         return self._route_cache[key]
 
     def route(

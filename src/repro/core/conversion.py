@@ -21,6 +21,7 @@ from __future__ import annotations
 import enum
 from typing import Dict, Mapping, Optional
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.core.converter import BLADE_A, ConverterConfig, ConverterId
 from repro.core.flattree import FlatTree
@@ -110,5 +111,15 @@ def convert(
     else:
         assignment = hybrid_configs(ft, pod_modes)
         default_name = "flat-tree[hybrid]"
-    ft.set_configs(assignment)
-    return ft.materialize(name or default_name)
+    with obs.span("convert", mode=mode.value if mode else "hybrid"):
+        if obs.enabled():
+            before = ft.configs()
+            reprogrammed = sum(
+                1 for cid, config in assignment.items()
+                if before[cid] is not config
+            )
+            obs.incr("core.conversion.converts")
+            obs.incr("core.conversion.reprogrammed", reprogrammed)
+        ft.set_configs(assignment)
+        with obs.timer("core.conversion.materialize_s"):
+            return ft.materialize(name or default_name)

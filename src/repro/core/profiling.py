@@ -13,9 +13,11 @@ and scores it by server-pair average path length.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.errors import WiringError
 from repro.core.conversion import Mode, convert
 from repro.core.design import FlatTreeDesign, mn_candidates
@@ -36,11 +38,27 @@ class ProfilePoint:
 
 
 @dataclass(frozen=True)
+class SkippedCandidate:
+    """An (m, n) candidate the sweep could not build, and why."""
+
+    m: int
+    n: int
+    reason: str
+
+
+@dataclass(frozen=True)
 class ProfileResult:
-    """Full profiling sweep outcome; ``best`` minimizes APL."""
+    """Full profiling sweep outcome; ``best`` minimizes APL.
+
+    ``skipped`` lists the infeasible candidates (with their
+    :class:`~repro.errors.WiringError` reasons) so a sweep is auditable:
+    every candidate in the input grid appears either in ``points`` or in
+    ``skipped``.
+    """
 
     points: Tuple[ProfilePoint, ...]
     best: ProfilePoint
+    skipped: Tuple[SkippedCandidate, ...] = ()
 
     def as_rows(self) -> List[dict]:
         """Table-friendly row dicts (used by the CLI and experiments)."""
@@ -65,28 +83,40 @@ def profile_mn(
 
     Candidates violating the design constraints (m + n over the group
     size or the relocatable-server budget, or no usable wiring pattern)
-    are skipped silently — the paper's grid includes such points at
-    small k.
+    are recorded on the result's ``skipped`` list — the paper's grid
+    includes such points at small k — and reported as telemetry events
+    (``core.profiling.skipped``), so sweeps stay auditable.
     """
     if candidates is None:
         k = params.pods  # fat-tree convention: pods == k
         candidates = mn_candidates(k)
     points: List[ProfilePoint] = []
-    for m, n in candidates:
-        try:
-            pattern = profiled_pattern(params, m)
-            design = FlatTreeDesign(
-                params=params, m=m, n=n, pattern=pattern, ring=ring
-            )
-        except WiringError:
-            continue
-        net = convert(FlatTree(design), Mode.GLOBAL_RANDOM)
-        apl = average_server_path_length(net)
-        points.append(ProfilePoint(m, n, pattern, apl))
+    skipped: List[SkippedCandidate] = []
+    with obs.span("profile_mn", pods=params.pods):
+        for m, n in candidates:
+            start = time.perf_counter()
+            try:
+                pattern = profiled_pattern(params, m)
+                design = FlatTreeDesign(
+                    params=params, m=m, n=n, pattern=pattern, ring=ring
+                )
+            except WiringError as exc:
+                skipped.append(SkippedCandidate(m, n, str(exc)))
+                obs.incr("core.profiling.skipped")
+                obs.event("core.profiling.skipped_candidate",
+                          m=m, n=n, reason=str(exc))
+                continue
+            net = convert(FlatTree(design), Mode.GLOBAL_RANDOM)
+            apl = average_server_path_length(net)
+            obs.observe("core.profiling.candidate_s",
+                        time.perf_counter() - start)
+            obs.incr("core.profiling.candidates")
+            points.append(ProfilePoint(m, n, pattern, apl))
     if not points:
         raise WiringError("no feasible (m, n) candidate to profile")
     best = min(points, key=lambda p: p.average_path_length)
-    return ProfileResult(points=tuple(points), best=best)
+    return ProfileResult(points=tuple(points), best=best,
+                         skipped=tuple(skipped))
 
 
 def profiled_design(params: ClosParams, ring: bool = True) -> FlatTreeDesign:

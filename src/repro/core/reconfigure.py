@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.core.controller import ReconfigurationPlan
 from repro.routing.base import Path
@@ -107,13 +108,28 @@ def schedule(
     copy); otherwise a new batch starts.  ``max_batch`` caps batch size
     (controller fan-out limits).
     """
-    from repro.topology.stats import is_connected
-
     if max_batch < 1:
         raise ConfigurationError("max_batch must be positive")
     converters = sorted(plan.config_changes)
     if not converters:
         return Schedule(technology=technology)
+    sched = _build_schedule(plan, before, technology, max_batch, converters)
+    obs.incr("core.reconfigure.schedules")
+    obs.incr("core.reconfigure.batches", sched.num_batches)
+    obs.incr("core.reconfigure.converters_scheduled", len(converters))
+    obs.set_gauge("core.reconfigure.last_total_time_s", sched.total_time)
+    return sched
+
+
+def _build_schedule(
+    plan: ReconfigurationPlan,
+    before: Network,
+    technology: Technology,
+    max_batch: int,
+    converters: List,
+) -> Schedule:
+    from repro.topology.stats import is_connected
+
     dark_links = _links_by_converter(plan)
 
     batches: List[List] = []

@@ -13,6 +13,7 @@ from repro.experiments.common import (
     throughput_of,
 )
 from repro.experiments.degradation import degrade, run_degradation
+from repro.experiments.fct import run_fct
 from repro.experiments.fig5_pathlength import run_fig5
 from repro.experiments.fig6_pod_pathlength import run_fig6
 from repro.experiments.fig7_broadcast import run_fig7
@@ -48,6 +49,7 @@ __all__ = [
     "hybrid_point",
     "ks_from_env",
     "run_degradation",
+    "run_fct",
     "run_fig5",
     "run_fig6",
     "run_fig7",

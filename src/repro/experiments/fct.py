@@ -1,0 +1,71 @@
+"""Flow-level FCT per operating mode (extension experiment).
+
+The paper's evaluation scores capacity with an optimal-routing LP;
+applications experience *flow completion time* under real
+(k-shortest-paths) routing.  This experiment runs the fluid flow-level
+simulator on a hot-spot-heavy workload in each operating mode and
+reports mean FCT — the LP's capacity trends (random graph beats Clos on
+skewed traffic) should survive routing realism.  It also exercises the
+controller -> routing -> flowsim pipeline end to end, which makes it
+the telemetry layer's coverage experiment for the routing and flowsim
+metric families (see docs/observability.md).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence, Tuple
+
+from repro.core.controller import Controller
+from repro.core.conversion import Mode
+from repro.core.design import FlatTreeDesign
+from repro.core.flattree import FlatTree
+from repro.experiments.common import ExperimentResult
+from repro.flowsim.simulator import FlowSimulator, FlowSpec
+
+#: Modes compared; LOCAL_RANDOM adds nothing at small k and slows CI.
+FCT_MODES: Tuple[Mode, ...] = (Mode.CLOS, Mode.GLOBAL_RANDOM)
+
+
+def _hotspot_workload(num_servers: int, flows: int, rng: random.Random):
+    """Half the flows fan out of one hot server, half are random pairs."""
+    servers = list(range(num_servers))
+    hotspot = rng.choice(servers)
+    others = [s for s in servers if s != hotspot]
+    specs = []
+    for dst in rng.sample(others, min(flows // 2, len(others))):
+        specs.append(FlowSpec(len(specs), hotspot, dst, size=1.0))
+    while len(specs) < flows:
+        a, b = rng.sample(servers, 2)
+        specs.append(FlowSpec(len(specs), a, b, size=1.0))
+    return specs
+
+
+def run_fct(
+    ks: Sequence[int] = (4, 6),
+    flows: int = 24,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Mean FCT of a hot-spot workload per mode, over fat-tree k."""
+    result = ExperimentResult(
+        experiment="flow-level FCT under ksp routing (extension)",
+        x_label="k",
+        y_label="mean FCT (unit-size flows)",
+    )
+    series = {mode: result.new_series(mode.value) for mode in FCT_MODES}
+    for k in ks:
+        design = FlatTreeDesign.for_fat_tree(k)
+        controller = Controller(FlatTree(design))
+        workload = _hotspot_workload(
+            design.params.num_servers, flows, random.Random(seed)
+        )
+        for mode, curve in series.items():
+            controller.apply_mode(mode)
+            simulator = FlowSimulator(controller.network, controller.route)
+            sim = simulator.run(list(workload))
+            curve.add(k, sim.mean_fct)
+    result.notes.append(
+        f"{flows} unit-size flows per point, half fanning out of one "
+        f"hot-spot server; identical workload replayed per mode"
+    )
+    return result

@@ -13,8 +13,10 @@ import platform
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.experiments.common import ExperimentResult
 from repro.experiments.degradation import run_degradation
+from repro.experiments.fct import run_fct
 from repro.experiments.fig5_pathlength import run_fig5
 from repro.experiments.fig6_pod_pathlength import run_fig6
 from repro.experiments.fig7_broadcast import run_fig7
@@ -66,6 +68,7 @@ class Report:
     seed: int
     results: List[ExperimentResult] = field(default_factory=list)
     timestamp: Optional[str] = None
+    telemetry: Optional[str] = None
 
     def to_markdown(self) -> str:
         lines = [
@@ -84,6 +87,9 @@ class Report:
             lines.extend(["", f"## {result.experiment}", "", "```"])
             lines.append(result.table())
             lines.extend(["```"])
+        if self.telemetry:
+            lines.extend(["", "## telemetry (internal counters)", "",
+                          "```", self.telemetry, "```"])
         lines.append("")
         return "\n".join(lines)
 
@@ -100,6 +106,7 @@ _BATTERY: Sequence[Callable[[ReportScale, int], ExperimentResult]] = (
     lambda s, seed: run_degradation(
         k=s.degradation_k, fractions=(0.0, 0.1, 0.2), draws=2, seed=seed
     ),
+    lambda s, seed: run_fct(ks=s.flow_ks, seed=seed),
 )
 
 
@@ -119,8 +126,13 @@ def generate_report(
             else None
         ),
     )
-    for build in _BATTERY:
-        report.results.append(build(scale, seed))
+    with obs.span("report", scale=scale.name, seed=seed):
+        for build in _BATTERY:
+            report.results.append(build(scale, seed))
+    if obs.enabled():
+        # The telemetry section is the `repro stats` style summary: every
+        # internal counter/quantile the battery accumulated this run.
+        report.telemetry = obs.render_table()
     return report
 
 

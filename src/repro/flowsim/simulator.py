@@ -17,6 +17,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro import obs
 from repro.errors import ReproError
 from repro.flowsim.fairshare import RoutedFlow, max_min_fair_rates
 from repro.routing.base import Path
@@ -118,10 +119,19 @@ class FlowSimulator:
         remaining: Dict[int, float] = {}
         paths: Dict[int, Path] = {}
         result = SimulationResult()
-        now = 0.0
-        events = 0
         budget = max_events if max_events is not None else 10 * len(flows) + 100
 
+        with obs.span("flowsim.run", flows=len(flows), net=self.net.name), \
+                obs.timer("flowsim.run_s"):
+            self._event_loop(pending, active, remaining, paths, result,
+                             budget)
+        return result
+
+    def _event_loop(self, pending, active, remaining, paths, result,
+                    budget) -> None:
+        now = 0.0
+        events = 0
+        recomputes = 0
         while pending or active:
             events += 1
             if events > budget:
@@ -144,6 +154,7 @@ class FlowSimulator:
                 self.net,
                 [RoutedFlow(fid, paths[fid]) for fid in active],
             ).rates
+            recomputes += 1
             # Next event: earliest completion vs next arrival.
             next_completion = math.inf
             for fid in active:
@@ -179,4 +190,6 @@ class FlowSimulator:
                     )
                 )
                 del remaining[fid]
-        return result
+        obs.incr("flowsim.events", events)
+        obs.incr("flowsim.fairshare_recomputes", recomputes)
+        obs.incr("flowsim.flows_completed", len(result.completed))

@@ -26,6 +26,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.errors import SolverError
 from repro.mcf.commodities import FlowProblem
 from repro.mcf.exact import MCFResult
@@ -58,39 +59,50 @@ def solve_concurrent_approx(
     graph = _AdjacencyView(problem)
     d_value = float((lengths * cap).sum())
     phases = 0
+    trees = 0
     budget = max_phases if max_phases is not None else _phase_budget(epsilon, num_arcs)
-    while d_value < 1.0 and phases < budget:
-        for g_index, group in enumerate(problem.groups):
-            remaining = group.demands.astype(np.float64).copy()
-            # Route the whole group off shared shortest-path trees: one
-            # Dijkstra serves every sink still carrying demand.  Length
-            # bumps apply after each tree, not after each sink — a
-            # standard batching of Fleischer's inner loop; the result
-            # stays exact because feasibility is certified a posteriori.
-            for _round in range(len(group.sinks) + 1):
-                if d_value >= 1.0 or not (remaining > 1e-12).any():
-                    break
-                tree = graph.shortest_path_tree(lengths, group.source)
-                bump_amount = np.zeros(num_arcs)
-                for sink_pos, sink in enumerate(group.sinks):
-                    if remaining[sink_pos] <= 1e-12:
-                        continue
-                    path_arcs = graph.tree_path(tree, int(sink))
-                    if path_arcs is None:
-                        # Unreachable sink: concurrent throughput is 0.
-                        return MCFResult(throughput=0.0, method="approx-gk")
-                    bottleneck = float(cap[path_arcs].min())
-                    amount = min(float(remaining[sink_pos]), bottleneck)
-                    flow[path_arcs] += amount
-                    bump_amount[path_arcs] += amount
-                    routed[g_index][sink_pos] += amount
-                    remaining[sink_pos] -= amount
-                bump = 1.0 + epsilon * bump_amount / cap
-                d_value += float((lengths * (bump - 1.0) * cap).sum())
-                lengths *= bump
-        phases += 1
+    with obs.span("mcf.approx", groups=problem.num_groups, arcs=num_arcs), \
+            obs.timer("mcf.approx.solve_s"):
+        while d_value < 1.0 and phases < budget:
+            for g_index, group in enumerate(problem.groups):
+                remaining = group.demands.astype(np.float64).copy()
+                # Route the whole group off shared shortest-path trees: one
+                # Dijkstra serves every sink still carrying demand.  Length
+                # bumps apply after each tree, not after each sink — a
+                # standard batching of Fleischer's inner loop; the result
+                # stays exact because feasibility is certified a posteriori.
+                for _round in range(len(group.sinks) + 1):
+                    if d_value >= 1.0 or not (remaining > 1e-12).any():
+                        break
+                    tree = graph.shortest_path_tree(lengths, group.source)
+                    trees += 1
+                    bump_amount = np.zeros(num_arcs)
+                    for sink_pos, sink in enumerate(group.sinks):
+                        if remaining[sink_pos] <= 1e-12:
+                            continue
+                        path_arcs = graph.tree_path(tree, int(sink))
+                        if path_arcs is None:
+                            # Unreachable sink: concurrent throughput is 0.
+                            obs.incr("mcf.approx.unreachable_sinks")
+                            return MCFResult(throughput=0.0,
+                                             method="approx-gk")
+                        bottleneck = float(cap[path_arcs].min())
+                        amount = min(float(remaining[sink_pos]), bottleneck)
+                        flow[path_arcs] += amount
+                        bump_amount[path_arcs] += amount
+                        routed[g_index][sink_pos] += amount
+                        remaining[sink_pos] -= amount
+                    bump = 1.0 + epsilon * bump_amount / cap
+                    d_value += float((lengths * (bump - 1.0) * cap).sum())
+                    lengths *= bump
+            phases += 1
 
-    return _certify(problem, flow, routed)
+    obs.incr("mcf.approx.solves")
+    obs.incr("mcf.approx.phases", phases)
+    obs.incr("mcf.approx.dijkstra_calls", trees)
+    result = _certify(problem, flow, routed)
+    obs.set_gauge("mcf.approx.last_objective", result.throughput)
+    return result
 
 
 def _phase_budget(epsilon: float, num_arcs: int) -> int:

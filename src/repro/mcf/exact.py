@@ -28,6 +28,7 @@ import numpy as np
 import scipy.sparse as sp
 from scipy.optimize import linprog
 
+from repro import obs
 from repro.errors import SolverError
 from repro.mcf.commodities import FlowProblem
 
@@ -117,21 +118,28 @@ def solve_concurrent_exact(
     # jellyfish(k=8) all-to-all instance) and reaches the same optimum;
     # simplex remains as the fallback for the rare IPM non-convergence.
     result = None
-    for method in ("highs-ipm", "highs"):
-        result = linprog(
-            c,
-            A_ub=a_ub,
-            b_ub=b_ub,
-            A_eq=a_eq,
-            b_eq=b_eq,
-            bounds=(0, None),
-            method=method,
-        )
-        if result.success:
-            break
+    with obs.span("mcf.exact", groups=num_groups, arcs=num_arcs), \
+            obs.timer("mcf.exact.solve_s"):
+        for method in ("highs-ipm", "highs"):
+            result = linprog(
+                c,
+                A_ub=a_ub,
+                b_ub=b_ub,
+                A_eq=a_eq,
+                b_eq=b_eq,
+                bounds=(0, None),
+                method=method,
+            )
+            if result.success:
+                break
+            obs.incr("mcf.exact.method_fallbacks")
     if result is None or not result.success:
         raise SolverError(f"concurrent-flow LP failed: {result.message}")
     throughput = float(result.x[lam_col])
+    obs.incr("mcf.exact.solves")
+    obs.set_gauge("mcf.exact.last_objective", throughput)
+    if getattr(result, "nit", None) is not None:
+        obs.observe("mcf.exact.iterations", int(result.nit))
     flows = None
     if return_flows:
         flows = result.x[:lam_col].reshape(num_groups, num_arcs)

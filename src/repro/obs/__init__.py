@@ -1,0 +1,85 @@
+"""repro.obs — dependency-free observability: metrics, spans, sinks.
+
+Three pieces (see ``docs/observability.md`` for the metric catalog):
+
+* a process-global :class:`~repro.obs.registry.MetricsRegistry`
+  (``repro.obs.registry``) of counters, gauges and histograms addressed
+  by dotted names (``topology.fattree.build_s``);
+* a span/tracing API — ``with obs.span("convert", mode=...):`` —
+  emitting structured JSON-lines events to a pluggable sink;
+* instrumentation helpers (``incr`` / ``observe`` / ``set_gauge`` /
+  ``timer`` / ``event``) used throughout the library.  All of them are
+  **no-ops until** :func:`enable` **is called**: the disabled fast path
+  is a single attribute check, so the permanent instrumentation costs
+  nothing in ordinary runs.
+
+Typical use::
+
+    from repro import obs
+    from repro.obs.sinks import MemorySink
+
+    sink = MemorySink()
+    obs.enable(sink, emit_metric_events=True)
+    with obs.span("experiment", k=8):
+        ...                     # instrumented library calls
+    print(obs.render_table())   # final counters/quantiles
+    obs.disable()               # flush + close the sink
+"""
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+)
+from repro.obs.render import render_table
+from repro.obs.sinks import (
+    FileSink,
+    MemorySink,
+    NullSink,
+    Sink,
+    StderrSink,
+    StreamSink,
+)
+from repro.obs.trace import (
+    Span,
+    current_sink,
+    disable,
+    enable,
+    enabled,
+    event,
+    incr,
+    observe,
+    registry,
+    set_gauge,
+    span,
+    timer,
+)
+
+__all__ = [
+    "Counter",
+    "FileSink",
+    "Gauge",
+    "Histogram",
+    "MemorySink",
+    "MetricsRegistry",
+    "NullSink",
+    "Sink",
+    "Span",
+    "StderrSink",
+    "StreamSink",
+    "Timer",
+    "current_sink",
+    "disable",
+    "enable",
+    "enabled",
+    "event",
+    "incr",
+    "observe",
+    "registry",
+    "render_table",
+    "set_gauge",
+    "span",
+    "timer",
+]

@@ -1,0 +1,200 @@
+"""Metrics registry: counters, gauges, histograms, monotonic timers.
+
+Metrics live in a process-global :class:`MetricsRegistry` (``repro.obs.
+registry``) and are addressed by dotted names mirroring the package
+tree, e.g. ``topology.fattree.build_s`` or ``mcf.exact.solve_s``.  The
+``_s`` suffix marks seconds; plain names are event or object counts.
+
+Instrumented code never touches this module directly — it goes through
+the module-level fast-path helpers in :mod:`repro.obs` (``incr``,
+``observe``, ``set_gauge``, ``timer``) which collapse to a single
+attribute check when telemetry is disabled.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, List, Optional
+
+from repro.errors import ReproError
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ReproError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = math.nan
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Histogram:
+    """A distribution of observations with p50/p90/p99 quantiles.
+
+    Observations are kept exactly up to ``max_samples`` and then
+    decimated (every other retained sample dropped, subsequent
+    observations recorded at half rate, repeatedly) so memory stays
+    bounded under million-observation hot loops while ``count`` and
+    ``sum`` remain exact.
+    """
+
+    __slots__ = ("name", "count", "sum", "min", "max",
+                 "_samples", "_max_samples", "_stride", "_skip")
+    kind = "histogram"
+
+    def __init__(self, name: str, max_samples: int = 4096) -> None:
+        self.name = name
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._samples: List[float] = []
+        self._max_samples = max_samples
+        self._stride = 1
+        self._skip = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self._skip += 1
+        if self._skip < self._stride:
+            return
+        self._skip = 0
+        self._samples.append(value)
+        if len(self._samples) >= self._max_samples:
+            self._samples = self._samples[::2]
+            self._stride *= 2
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else math.nan
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile over the retained samples."""
+        if not 0.0 <= q <= 1.0:
+            raise ReproError(f"quantile must be in [0, 1], got {q}")
+        if not self._samples:
+            return math.nan
+        ordered = sorted(self._samples)
+        index = min(len(ordered) - 1,
+                    max(0, int(math.ceil(q * len(ordered))) - 1))
+        return ordered[index]
+
+    def snapshot(self) -> dict:
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else math.nan,
+            "max": self.max if self.count else math.nan,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
+
+
+class Timer:
+    """Context manager recording elapsed seconds into a histogram."""
+
+    __slots__ = ("_histogram", "_start")
+
+    def __init__(self, histogram: Histogram) -> None:
+        self._histogram = histogram
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._histogram.observe(time.perf_counter() - self._start)
+        return False
+
+
+class MetricsRegistry:
+    """Name -> metric map with create-on-first-use semantics.
+
+    A name is bound to one metric kind for the registry's lifetime;
+    re-using ``topology.fattree.builds`` as a gauge after it was a
+    counter raises, which catches typo'd instrumentation early.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    def _get(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            if not name or name != name.strip():
+                raise ReproError(f"bad metric name {name!r}")
+            metric = cls(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise ReproError(
+                f"metric {name!r} is a {metric.kind}, not a "
+                f"{cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def timer(self, name: str) -> Timer:
+        return Timer(self._get(name, Histogram))
+
+    def get(self, name: str) -> Optional[object]:
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> Dict[str, dict]:
+        """All metrics as plain dicts (JSON-serializable)."""
+        return {name: self._metrics[name].snapshot()
+                for name in self.names()}
+
+    def reset(self) -> None:
+        self._metrics.clear()

@@ -1,0 +1,47 @@
+"""Human-readable rendering of a metrics registry snapshot."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from repro.obs import trace
+
+
+def _fmt(value: float) -> str:
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "-"
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.6g}"
+    return f"{int(value)}"
+
+
+def render_table(snapshot: Optional[Dict[str, dict]] = None) -> str:
+    """Aligned text table of a registry snapshot (CLI ``--telemetry``).
+
+    Counters and gauges render their value; histograms render count,
+    mean and the p50/p90/p99 quantiles.
+    """
+    snapshot = snapshot if snapshot is not None else trace.registry.snapshot()
+    if not snapshot:
+        return "(no metrics recorded)"
+    rows = []
+    for name in sorted(snapshot):
+        stats = snapshot[name]
+        kind = stats["kind"]
+        if kind == "histogram":
+            detail = (
+                f"n={_fmt(stats['count'])}  mean={_fmt(stats['mean'])}  "
+                f"p50={_fmt(stats['p50'])}  p90={_fmt(stats['p90'])}  "
+                f"p99={_fmt(stats['p99'])}"
+            )
+        else:
+            detail = _fmt(stats["value"])
+        rows.append((name, kind, detail))
+    name_w = max(len(r[0]) for r in rows)
+    kind_w = max(len(r[1]) for r in rows)
+    header = f"{'metric':<{name_w}}  {'kind':<{kind_w}}  value"
+    lines = [header, "-" * len(header)]
+    for name, kind, detail in rows:
+        lines.append(f"{name:<{name_w}}  {kind:<{kind_w}}  {detail}")
+    return "\n".join(lines)

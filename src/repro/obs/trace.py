@@ -1,0 +1,227 @@
+"""Telemetry state, span tracing, and the zero-overhead fast path.
+
+Design goals, in order:
+
+1. **Disabled is free.**  Every helper (``incr``, ``observe``,
+   ``set_gauge``, ``timer``, ``span``) starts with one attribute check
+   against the module-global :data:`_state` and returns immediately —
+   no allocation, no dict lookup — so permanently-instrumented hot
+   paths cost nothing in normal runs.
+2. **Call sites aggregate.**  Instrumentation records *per public call*
+   (one ``incr`` with the loop's total, one timer around the whole
+   solve), never per inner-loop iteration, so even enabled overhead is
+   O(1) per library call.
+3. **Events are flat dicts.**  A span exit emits ``{ts, name, kind:
+   "span", duration_s, path, depth, ...attrs}``; metric updates (when a
+   sink is installed) emit ``{ts, name, kind, value}``.  Sinks are
+   pluggable (:mod:`repro.obs.sinks`).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sinks import NullSink, Sink
+
+#: The process-global registry all helpers write into.
+registry = MetricsRegistry()
+
+
+class _State:
+    """Mutable telemetry switchboard (one per process)."""
+
+    __slots__ = ("enabled", "sink", "emit_metric_events", "span_stack")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.sink: Sink = NullSink()
+        self.emit_metric_events = False
+        self.span_stack: List[str] = []
+
+
+_state = _State()
+
+
+def enabled() -> bool:
+    """Is telemetry collection currently on?"""
+    return _state.enabled
+
+
+def enable(sink: Optional[Sink] = None,
+           emit_metric_events: bool = False) -> None:
+    """Turn telemetry on.
+
+    ``sink`` receives span events (and, with ``emit_metric_events``,
+    every metric update) as JSON-ready dicts; ``None`` keeps
+    metrics-only collection, the cheapest enabled mode.
+    """
+    _state.sink = sink if sink is not None else NullSink()
+    _state.emit_metric_events = emit_metric_events
+    _state.span_stack = []
+    _state.enabled = True
+
+
+def disable() -> None:
+    """Turn telemetry off and flush/close the sink."""
+    _state.enabled = False
+    try:
+        _state.sink.flush()
+        _state.sink.close()
+    finally:
+        _state.sink = NullSink()
+        _state.emit_metric_events = False
+        _state.span_stack = []
+
+
+def current_sink() -> Sink:
+    return _state.sink
+
+
+def _emit_metric(name: str, kind: str, value: float) -> None:
+    _state.sink.emit({
+        "ts": time.time(),
+        "name": name,
+        "kind": kind,
+        "value": value,
+    })
+
+
+def incr(name: str, amount: float = 1.0) -> None:
+    """Bump counter ``name`` (no-op when telemetry is disabled)."""
+    if not _state.enabled:
+        return
+    registry.counter(name).inc(amount)
+    if _state.emit_metric_events:
+        _emit_metric(name, "counter", amount)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set gauge ``name`` (no-op when telemetry is disabled)."""
+    if not _state.enabled:
+        return
+    registry.gauge(name).set(value)
+    if _state.emit_metric_events:
+        _emit_metric(name, "gauge", value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record ``value`` into histogram ``name`` (no-op when disabled)."""
+    if not _state.enabled:
+        return
+    registry.histogram(name).observe(value)
+    if _state.emit_metric_events:
+        _emit_metric(name, "histogram", value)
+
+
+class _NullCtx:
+    """Shared allocation-free context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullCtx":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_CTX = _NullCtx()
+
+
+class _Timer:
+    __slots__ = ("_name", "_start")
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        elapsed = time.perf_counter() - self._start
+        if _state.enabled:
+            registry.histogram(self._name).observe(elapsed)
+            if _state.emit_metric_events:
+                _state.sink.emit({
+                    "ts": time.time(),
+                    "name": self._name,
+                    "kind": "timer",
+                    "duration_s": elapsed,
+                })
+        return False
+
+
+def timer(name: str):
+    """``with timer("mcf.exact.solve_s"):`` — seconds into a histogram."""
+    if not _state.enabled:
+        return _NULL_CTX
+    return _Timer(name)
+
+
+class Span:
+    """A named wall-clock phase; nests via the state's span stack.
+
+    On exit it emits one event carrying the span's ``duration_s``, its
+    slash-joined ``path`` (ancestry included) and ``depth``, plus any
+    keyword attributes given at creation, and records the duration into
+    the registry histogram ``span.<name>_s``.
+    """
+
+    __slots__ = ("name", "attrs", "path", "depth", "_start")
+
+    def __init__(self, name: str, attrs: dict) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.path = name
+        self.depth = 0
+        self._start = 0.0
+
+    def __enter__(self) -> "Span":
+        stack = _state.span_stack
+        self.depth = len(stack)
+        self.path = "/".join(stack + [self.name])
+        stack.append(self.name)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, *exc) -> bool:
+        duration = time.perf_counter() - self._start
+        stack = _state.span_stack
+        if stack and stack[-1] == self.name:
+            stack.pop()
+        if _state.enabled:
+            registry.histogram(f"span.{self.name}_s").observe(duration)
+            event = {
+                "ts": time.time(),
+                "name": self.name,
+                "kind": "span",
+                "duration_s": duration,
+                "path": self.path,
+                "depth": self.depth,
+            }
+            if exc_type is not None:
+                event["error"] = exc_type.__name__
+            event.update(self.attrs)
+            _state.sink.emit(event)
+        return False
+
+
+def span(name: str, **attrs):
+    """``with span("convert", mode="global-random"):`` — trace a phase."""
+    if not _state.enabled:
+        return _NULL_CTX
+    return Span(name, attrs)
+
+
+def event(name: str, **attrs) -> None:
+    """Emit a one-off structured event (e.g. a skipped candidate)."""
+    if not _state.enabled:
+        return
+    payload = {"ts": time.time(), "name": name, "kind": "event",
+               "value": attrs.pop("value", 1)}
+    payload.update(attrs)
+    _state.sink.emit(payload)

@@ -12,6 +12,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 import networkx as nx
 
+from repro import obs
 from repro.errors import RoutingError
 from repro.routing.base import Path, RoutingTable
 from repro.topology.elements import Network, SwitchId
@@ -27,10 +28,13 @@ def ecmp_paths(
     if src == dst:
         return [Path((src,))]
     try:
-        gen = nx.all_shortest_paths(net.fabric, src, dst)
-        raw = list(islice(gen, limit)) if limit else list(gen)
+        with obs.timer("routing.ecmp.compute_s"):
+            gen = nx.all_shortest_paths(net.fabric, src, dst)
+            raw = list(islice(gen, limit)) if limit else list(gen)
     except (nx.NetworkXNoPath, nx.NodeNotFound):
         raise RoutingError(f"no path from {src!r} to {dst!r}") from None
+    obs.incr("routing.ecmp.pairs")
+    obs.incr("routing.ecmp.paths", len(raw))
     return [Path(tuple(nodes)) for nodes in raw]
 
 
@@ -45,10 +49,18 @@ def build_ecmp_table(
     group sizes are bounded in practice; 16 is a common default).
     """
     table = RoutingTable(name=f"ecmp[{net.name}]")
-    for src, dst in pairs:
-        if src == dst:
-            continue
-        table.add(ecmp_paths(net, src, dst, limit=limit))
+    memo: dict = {}
+    with obs.span("build_ecmp_table", net=net.name):
+        for src, dst in pairs:
+            if src == dst:
+                continue
+            if (src, dst) in memo:
+                obs.incr("routing.ecmp.memo_hits")
+                paths = memo[(src, dst)]
+            else:
+                paths = ecmp_paths(net, src, dst, limit=limit)
+                memo[(src, dst)] = paths
+            table.add(paths)
     return table
 
 

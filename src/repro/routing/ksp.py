@@ -15,6 +15,7 @@ from typing import Iterable, List, Tuple
 
 import networkx as nx
 
+from repro import obs
 from repro.errors import RoutingError
 from repro.routing.base import Path, RoutingTable
 from repro.topology.elements import Network, SwitchId
@@ -32,9 +33,14 @@ def k_shortest_paths(
     if src == dst:
         return [Path((src,))]
     try:
-        raw = list(islice(nx.shortest_simple_paths(net.fabric, src, dst), k))
+        with obs.timer("routing.ksp.compute_s"):
+            raw = list(islice(
+                nx.shortest_simple_paths(net.fabric, src, dst), k
+            ))
     except (nx.NetworkXNoPath, nx.NodeNotFound):
         raise RoutingError(f"no path from {src!r} to {dst!r}") from None
+    obs.incr("routing.ksp.pairs")
+    obs.incr("routing.ksp.paths", len(raw))
     return [Path(tuple(nodes)) for nodes in raw]
 
 
@@ -43,12 +49,25 @@ def build_ksp_table(
     pairs: Iterable[Tuple[SwitchId, SwitchId]],
     k: int = DEFAULT_K,
 ) -> RoutingTable:
-    """KSP routing table for the given switch pairs."""
+    """KSP routing table for the given switch pairs.
+
+    Duplicate (src, dst) pairs in the input are served from a per-build
+    memo instead of re-running Yen's algorithm; the hit count surfaces
+    as ``routing.ksp.memo_hits``.
+    """
     table = RoutingTable(name=f"ksp{k}[{net.name}]")
-    for src, dst in pairs:
-        if src == dst:
-            continue
-        table.add(k_shortest_paths(net, src, dst, k=k))
+    memo: dict = {}
+    with obs.span("build_ksp_table", k=k, net=net.name):
+        for src, dst in pairs:
+            if src == dst:
+                continue
+            if (src, dst) in memo:
+                obs.incr("routing.ksp.memo_hits")
+                paths = memo[(src, dst)]
+            else:
+                paths = k_shortest_paths(net, src, dst, k=k)
+                memo[(src, dst)] = paths
+            table.add(paths)
     return table
 
 

@@ -14,6 +14,7 @@ phrased in terms of ``k``.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.topology.clos import ClosParams, build_clos, fat_tree_params
 from repro.topology.elements import Network
 
@@ -21,7 +22,11 @@ from repro.topology.elements import Network
 def build_fat_tree(k: int) -> Network:
     """Build fat-tree(k) as a :class:`~repro.topology.elements.Network`."""
     params = fat_tree_params(k)
-    net = build_clos(params, name=f"fat-tree(k={k})")
+    with obs.timer("topology.fattree.build_s"):
+        net = build_clos(params, name=f"fat-tree(k={k})")
+    obs.incr("topology.fattree.builds")
+    obs.incr("topology.fattree.switches", net.num_switches)
+    obs.incr("topology.fattree.cables", net.num_cables)
     return net
 
 

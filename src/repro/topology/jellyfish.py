@@ -18,6 +18,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.errors import TopologyError
 from repro.topology.clos import ClosParams, fat_tree_params
 from repro.topology.elements import Network, PlainSwitch
@@ -79,15 +80,18 @@ def build_jellyfish(
     cases, reported via the returned network's free-port audit.
     """
     rng = rng or random.Random(0)
-    net = Network(name)
-    switches = [PlainSwitch(i) for i in range(spec.num_switches)]
-    for s in switches:
-        net.add_switch(s, spec.ports_per_switch)
+    with obs.timer("topology.jellyfish.build_s"):
+        net = Network(name)
+        switches = [PlainSwitch(i) for i in range(spec.num_switches)]
+        for s in switches:
+            net.add_switch(s, spec.ports_per_switch)
 
-    _attach_servers(net, switches, spec.num_servers, rng)
-    free = {s: net.ports_free(s) for s in switches}
-    _random_match(net, free, rng)
-    _repair_leftovers(net, free, rng)
+        _attach_servers(net, switches, spec.num_servers, rng)
+        free = {s: net.ports_free(s) for s in switches}
+        _random_match(net, free, rng)
+        _repair_leftovers(net, free, rng)
+    obs.incr("topology.jellyfish.builds")
+    obs.incr("topology.jellyfish.cables", net.num_cables)
     return net
 
 
@@ -122,10 +126,12 @@ def _random_match(
     """Randomly pair free ports until no easy progress remains."""
     candidates = [s for s, f in free.items() if f > 0]
     stuck = 0
+    rejected = 0
     while len(candidates) >= 2 and stuck < _MAX_STUCK_DRAWS:
         u, v = rng.sample(candidates, 2)
         if net.fabric.has_edge(u, v):
             stuck += 1
+            rejected += 1
             continue
         net.add_cable(u, v)
         stuck = 0
@@ -133,6 +139,7 @@ def _random_match(
             free[s] -= 1
             if free[s] == 0:
                 candidates.remove(s)
+    obs.incr("topology.jellyfish.rejected_draws", rejected)
 
 
 def _repair_leftovers(
@@ -146,24 +153,29 @@ def _repair_leftovers(
     adjacent switches are resolved by a 2-swap.  A single global leftover
     port is unavoidable when the total stub count is odd.
     """
-    for _ in range(10 * len(free) + 100):
-        leftovers = [s for s, f in free.items() if f > 0]
-        total_free = sum(free[s] for s in leftovers)
-        if total_free <= 1:
-            return
-        if len(leftovers) == 1 or max(free[s] for s in leftovers) >= 2:
-            w = max(leftovers, key=lambda s: free[s])
-            if _absorb_with_swap(net, free, w, rng):
+    iterations = 0
+    try:
+        for _ in range(10 * len(free) + 100):
+            iterations += 1
+            leftovers = [s for s, f in free.items() if f > 0]
+            total_free = sum(free[s] for s in leftovers)
+            if total_free <= 1:
+                return
+            if len(leftovers) == 1 or max(free[s] for s in leftovers) >= 2:
+                w = max(leftovers, key=lambda s: free[s])
+                if _absorb_with_swap(net, free, w, rng):
+                    continue
+                return
+            u, v = rng.sample(leftovers, 2)
+            if not net.fabric.has_edge(u, v):
+                net.add_cable(u, v)
+                free[u] -= 1
+                free[v] -= 1
                 continue
-            return
-        u, v = rng.sample(leftovers, 2)
-        if not net.fabric.has_edge(u, v):
-            net.add_cable(u, v)
-            free[u] -= 1
-            free[v] -= 1
-            continue
-        if not _cross_swap(net, free, u, v, rng):
-            return
+            if not _cross_swap(net, free, u, v, rng):
+                return
+    finally:
+        obs.incr("topology.jellyfish.repair_iterations", iterations)
 
 
 def _absorb_with_swap(

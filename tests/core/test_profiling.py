@@ -21,6 +21,38 @@ class TestProfileMn:
         result = profile_mn(fat_tree_params(8), candidates=[(1, 1), (3, 3)])
         assert [(p.m, p.n) for p in result.points] == [(1, 1)]
 
+    def test_skipped_candidates_recorded_with_reason(self):
+        result = profile_mn(fat_tree_params(8), candidates=[(1, 1), (3, 3)])
+        assert [(s.m, s.n) for s in result.skipped] == [(3, 3)]
+        assert result.skipped[0].reason  # the WiringError message
+        # Every grid point is accounted for: profiled or skipped.
+        assert len(result.points) + len(result.skipped) == 2
+
+    def test_feasible_grid_has_no_skips(self):
+        result = profile_mn(fat_tree_params(8), candidates=[(1, 1), (1, 2)])
+        assert result.skipped == ()
+
+    def test_skips_emit_telemetry_events(self):
+        from repro import obs
+        from repro.obs.sinks import MemorySink
+
+        obs.disable()
+        obs.registry.reset()
+        sink = MemorySink()
+        obs.enable(sink)
+        try:
+            profile_mn(fat_tree_params(8), candidates=[(1, 1), (3, 3)])
+            skips = [e for e in sink.events
+                     if e["name"] == "core.profiling.skipped_candidate"]
+            assert len(skips) == 1
+            assert skips[0]["m"] == 3 and skips[0]["n"] == 3
+            assert skips[0]["reason"]
+            counter = obs.registry.counter("core.profiling.skipped")
+            assert counter.value == 1
+        finally:
+            obs.disable()
+            obs.registry.reset()
+
     def test_all_infeasible_raises(self):
         with pytest.raises(WiringError):
             profile_mn(fat_tree_params(8), candidates=[(4, 4)])

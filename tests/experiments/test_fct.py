@@ -1,0 +1,23 @@
+"""Unit tests for the flow-level FCT experiment."""
+
+from __future__ import annotations
+
+from repro.experiments.fct import run_fct
+
+
+class TestRunFct:
+    def test_series_per_mode_with_positive_fct(self):
+        result = run_fct(ks=(4,), flows=12, seed=0)
+        assert {s.label for s in result.series} == {"clos", "global-random"}
+        for series in result.series:
+            assert series.points[4] > 0
+
+    def test_seed_reproducible(self):
+        a = run_fct(ks=(4,), flows=12, seed=3)
+        b = run_fct(ks=(4,), flows=12, seed=3)
+        assert a.get("clos").points == b.get("clos").points
+
+    def test_table_renders(self):
+        result = run_fct(ks=(4,), flows=12, seed=0)
+        table = result.table()
+        assert "clos" in table and "global-random" in table

@@ -27,7 +27,7 @@ class TestGenerate:
     def test_covers_all_experiments(self, quick_report):
         names = [r.experiment for r in quick_report.results]
         for needle in ("fig5", "fig6", "fig7", "fig8", "hybrid",
-                       "link failures"):
+                       "link failures", "FCT"):
             assert any(needle in n for n in names), needle
 
     def test_no_timestamp_when_unstamped(self, quick_report):
@@ -56,5 +56,5 @@ class TestWrite:
         path = tmp_path / "r.md"
         report = write_report(str(path), scale=ReportScale.quick(), seed=1)
         assert path.exists()
-        assert len(report.results) == 6
+        assert len(report.results) == 7
         assert "generated:" in path.read_text()

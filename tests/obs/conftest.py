@@ -1,0 +1,26 @@
+"""Telemetry test fixtures: isolated enable/disable around each test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs.sinks import MemorySink
+
+
+@pytest.fixture()
+def clean_obs():
+    """Guarantee telemetry is off and the registry empty around a test."""
+    obs.disable()
+    obs.registry.reset()
+    yield
+    obs.disable()
+    obs.registry.reset()
+
+
+@pytest.fixture()
+def memory_sink(clean_obs) -> MemorySink:
+    """Telemetry enabled onto an in-memory sink (metric events on)."""
+    sink = MemorySink()
+    obs.enable(sink, emit_metric_events=True)
+    return sink

@@ -1,0 +1,135 @@
+"""Unit tests for the metrics registry: arithmetic and quantiles."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ReproError):
+            Counter("x").inc(-1)
+
+    def test_snapshot(self):
+        c = Counter("x")
+        c.inc(4)
+        assert c.snapshot() == {"kind": "counter", "value": 4.0}
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge("x")
+        assert math.isnan(g.value)
+        g.set(3)
+        g.set(-1.5)
+        assert g.value == -1.5
+        assert g.snapshot()["value"] == -1.5
+
+
+class TestHistogram:
+    def test_count_sum_min_max_mean(self):
+        h = Histogram("x")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == 10.0
+        assert h.min == 1.0
+        assert h.max == 4.0
+        assert h.mean == 2.5
+
+    def test_quantiles_nearest_rank(self):
+        h = Histogram("x")
+        for v in range(1, 101):  # 1..100
+            h.observe(float(v))
+        assert h.quantile(0.50) == 50.0
+        assert h.quantile(0.90) == 90.0
+        assert h.quantile(0.99) == 99.0
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(1.0) == 100.0
+
+    def test_empty_quantile_is_nan(self):
+        assert math.isnan(Histogram("x").quantile(0.5))
+
+    def test_quantile_rejects_out_of_range(self):
+        with pytest.raises(ReproError):
+            Histogram("x").quantile(1.5)
+
+    def test_decimation_keeps_exact_count_and_sum(self):
+        h = Histogram("x", max_samples=64)
+        n = 10_000
+        for v in range(n):
+            h.observe(float(v))
+        assert h.count == n
+        assert h.sum == sum(range(n))
+        assert h.min == 0.0 and h.max == n - 1
+        assert len(h._samples) < 64
+        # Decimated quantiles stay in the right neighborhood.
+        assert abs(h.quantile(0.5) - n / 2) < n * 0.1
+
+    def test_snapshot_shape(self):
+        h = Histogram("x")
+        h.observe(2.0)
+        snap = h.snapshot()
+        assert snap["kind"] == "histogram"
+        assert {"count", "sum", "min", "max", "mean",
+                "p50", "p90", "p99"} <= set(snap)
+
+
+class TestMetricsRegistry:
+    def test_create_on_first_use(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b").inc()
+        assert reg.counter("a.b").value == 1
+        assert reg.names() == ["a.b"]
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(ReproError):
+            reg.gauge("a")
+
+    def test_bad_name_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ReproError):
+            reg.counter("")
+        with pytest.raises(ReproError):
+            reg.counter(" padded ")
+
+    def test_timer_records_into_histogram(self):
+        reg = MetricsRegistry()
+        with reg.timer("t_s"):
+            pass
+        hist = reg.histogram("t_s")
+        assert hist.count == 1
+        assert hist.sum >= 0
+
+    def test_snapshot_and_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(7)
+        snap = reg.snapshot()
+        assert snap["c"]["value"] == 2
+        assert snap["g"]["value"] == 7
+        reg.reset()
+        assert len(reg) == 0
+        assert reg.snapshot() == {}
+
+    def test_get_missing_is_none(self):
+        assert MetricsRegistry().get("nope") is None

@@ -119,6 +119,13 @@ class TestExport:
         assert len(out.strip().splitlines()) == 32
 
 
+class TestFct:
+    def test_fct_table(self, capsys):
+        code, out = run_cli(capsys, "fct", "--ks", "4", "--flows", "12")
+        assert code == 0
+        assert "clos" in out and "global-random" in out
+
+
 class TestDownscale:
     def test_downscale_runs(self, capsys):
         code, out = run_cli(
@@ -149,3 +156,66 @@ class TestUsage:
     def test_bad_mode_rejected(self):
         with pytest.raises(SystemExit):
             main(["convert", "--k", "8", "--mode", "sideways"])
+
+
+class TestVersionAndInfo:
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_info_lists_versions_and_sinks(self, capsys):
+        import networkx
+
+        import repro
+
+        code, out = run_cli(capsys, "info")
+        assert code == 0
+        assert f"repro {repro.__version__}" in out
+        assert f"networkx {networkx.__version__}" in out
+        assert "telemetry: disabled" in out
+
+    def test_info_reports_enabled_sink(self, capsys):
+        code, out = run_cli(capsys, "--telemetry", "info")
+        assert code == 0
+        assert "telemetry: enabled -> stderr" in out
+
+
+class TestTelemetry:
+    def test_disabled_run_prints_no_telemetry(self, capsys):
+        _code, out = run_cli(capsys, "cost", "--ks", "8")
+        assert "== telemetry ==" not in out
+
+    def test_table_printed_and_state_restored(self, capsys):
+        from repro import obs
+
+        code, out = run_cli(capsys, "--telemetry", "profile", "--k", "4")
+        assert code == 0
+        assert "== telemetry ==" in out
+        assert "core.profiling.candidates" in out
+        assert "span.cli_s" in out
+        assert not obs.enabled()
+
+    def test_jsonl_events_valid(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "events.jsonl"
+        code, out = run_cli(
+            capsys, f"--telemetry={path}", "convert", "--k", "4",
+            "--mode", "global-random",
+        )
+        assert code == 0
+        assert "== telemetry ==" in out
+        lines = path.read_text().strip().splitlines()
+        assert lines
+        for line in lines:
+            event = json.loads(line)
+            assert {"ts", "name", "kind"} <= set(event)
+            assert "value" in event or "duration_s" in event
+        names = {json.loads(line)["name"] for line in lines}
+        assert "cli" in names                    # the top-level span
+        assert "apply_layout" in names           # the conversion span
+        assert "core.controller.reprogrammed" in names

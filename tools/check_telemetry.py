@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Validate a telemetry JSONL stream against the event wire contract.
+
+Every line must be a JSON object carrying ``ts`` (number), ``name``
+(non-empty string), ``kind`` (one of the known kinds), and either
+``value`` (number) or ``duration_s`` (non-negative number).  Span
+events must also carry ``path`` and ``depth``.  See
+``docs/observability.md`` for the contract.
+
+Usage::
+
+    python tools/check_telemetry.py run.jsonl [--min-names N]
+
+Exits 0 when every line validates (and, with ``--min-names``, when at
+least N distinct metric/span names appear); prints the offending line
+and exits 1 otherwise.  Used by ``make telemetry-smoke`` and CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List
+
+KINDS = {"counter", "gauge", "histogram", "timer", "span", "event"}
+
+
+def check_line(line: str, lineno: int) -> List[str]:
+    """Return a list of problems with one JSONL line (empty = valid)."""
+    problems: List[str] = []
+    try:
+        event = json.loads(line)
+    except json.JSONDecodeError as exc:
+        return [f"not valid JSON: {exc}"]
+    if not isinstance(event, dict):
+        return ["not a JSON object"]
+
+    ts = event.get("ts")
+    if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+        problems.append("missing/non-numeric 'ts'")
+    name = event.get("name")
+    if not isinstance(name, str) or not name.strip():
+        problems.append("missing/empty 'name'")
+    kind = event.get("kind")
+    if kind not in KINDS:
+        problems.append(f"unknown 'kind' {kind!r} (expected one of {sorted(KINDS)})")
+
+    has_value = isinstance(event.get("value"), (int, float))
+    duration = event.get("duration_s")
+    has_duration = isinstance(duration, (int, float)) and not isinstance(
+        duration, bool
+    )
+    if not has_value and not has_duration:
+        problems.append("needs a numeric 'value' or 'duration_s'")
+    if has_duration and duration < 0:
+        problems.append(f"negative 'duration_s' {duration}")
+
+    if kind == "span":
+        if not isinstance(event.get("path"), str):
+            problems.append("span missing 'path'")
+        if not isinstance(event.get("depth"), int):
+            problems.append("span missing integer 'depth'")
+    return problems
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", help="JSONL file emitted under --telemetry")
+    parser.add_argument(
+        "--min-names",
+        type=int,
+        default=0,
+        metavar="N",
+        help="require at least N distinct event names (coverage check)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.path, "r", encoding="utf-8") as stream:
+            lines = [line for line in stream.read().splitlines() if line.strip()]
+    except OSError as exc:
+        print(f"check_telemetry: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 1
+
+    if not lines:
+        print(f"check_telemetry: {args.path} has no events", file=sys.stderr)
+        return 1
+
+    errors = 0
+    names = set()
+    for lineno, line in enumerate(lines, start=1):
+        problems = check_line(line, lineno)
+        if problems:
+            errors += 1
+            print(
+                f"check_telemetry: {args.path}:{lineno}: "
+                + "; ".join(problems),
+                file=sys.stderr,
+            )
+            print(f"  {line}", file=sys.stderr)
+        else:
+            names.add(json.loads(line)["name"])
+
+    if errors:
+        print(
+            f"check_telemetry: {errors}/{len(lines)} invalid lines",
+            file=sys.stderr,
+        )
+        return 1
+    if len(names) < args.min_names:
+        print(
+            f"check_telemetry: only {len(names)} distinct names "
+            f"(need {args.min_names}): {sorted(names)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"check_telemetry: {args.path} OK — "
+        f"{len(lines)} events, {len(names)} distinct names"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

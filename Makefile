@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench figures examples lint clean telemetry-smoke
+.PHONY: install test bench figures examples lint clean telemetry-smoke monitor-smoke
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -22,6 +22,15 @@ telemetry-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.cli --telemetry=telemetry-smoke.jsonl fig5 --ks 4
 	$(PYTHON) tools/check_telemetry.py telemetry-smoke.jsonl --min-names 12
 	rm -f telemetry-smoke.jsonl
+
+# Exercise the network monitoring plane on a k=4 all-to-all and validate
+# the link_sample/link_down/link_up events it exports.
+monitor-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli --telemetry=monitor-smoke.jsonl monitor --k 4 --pattern alltoall
+	PYTHONPATH=src $(PYTHON) -m repro.cli --telemetry=monitor-smoke-fct.jsonl fct --ks 4 --flows 12 --monitor
+	$(PYTHON) tools/check_telemetry.py monitor-smoke.jsonl --min-names 4
+	$(PYTHON) tools/check_telemetry.py monitor-smoke-fct.jsonl --min-names 10
+	rm -f monitor-smoke.jsonl monitor-smoke-fct.jsonl
 
 figures:
 	$(PYTHON) -m repro.cli fig5

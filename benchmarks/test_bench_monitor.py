@@ -1,0 +1,85 @@
+"""Extension bench: monitoring-plane overhead on the fluid simulator.
+
+The monitor's contract is pay-for-use: a flowsim run with no monitor
+attached must cost the same as before the monitoring plane existed
+(``monitor=None`` fast paths), and an attached monitor should tax the
+event loop modestly, not multiply it.  This bench times the same
+hot-spot workload bare and monitored and records the ratio.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from conftest import show
+
+from repro.core.controller import Controller
+from repro.core.conversion import Mode
+from repro.core.design import FlatTreeDesign
+from repro.core.flattree import FlatTree
+from repro.experiments.common import ExperimentResult
+from repro.flowsim.simulator import FlowSimulator, FlowSpec
+from repro.monitor import NetworkMonitor
+
+BENCH_K = 8
+FLOWS = 120
+
+
+def hotspot_flows(params, rng) -> list:
+    servers = list(range(params.num_servers))
+    hotspot = rng.choice(servers)
+    specs = []
+    fid = 0
+    for dst in rng.sample([s for s in servers if s != hotspot], FLOWS // 2):
+        specs.append(FlowSpec(fid, hotspot, dst, size=1.0))
+        fid += 1
+    while fid < FLOWS:
+        a, b = rng.sample(servers, 2)
+        specs.append(FlowSpec(fid, a, b, size=1.0))
+        fid += 1
+    return specs
+
+
+def timed_run(monitored: bool):
+    design = FlatTreeDesign.for_fat_tree(BENCH_K)
+    controller = Controller(FlatTree(design))
+    controller.apply_mode(Mode.GLOBAL_RANDOM)
+    flows = hotspot_flows(design.params, random.Random(7))
+    monitor = (NetworkMonitor(controller.network) if monitored else None)
+    simulator = FlowSimulator(controller.network, controller.route,
+                              monitor=monitor)
+    begin = time.perf_counter()
+    simulator.run(flows)
+    elapsed = time.perf_counter() - begin
+    return elapsed, monitor
+
+
+def run_overhead_comparison() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="extension: monitoring-plane overhead (fluid sim)",
+        x_label="k",
+        y_label="flowsim wall-clock (s)",
+    )
+    bare, _ = timed_run(monitored=False)
+    monitored, monitor = timed_run(monitored=True)
+    result.new_series("bare").add(BENCH_K, bare)
+    result.new_series("monitored").add(BENCH_K, monitored)
+    result.notes.append(
+        f"{FLOWS} flows; monitored run sampled "
+        f"{monitor.samples_taken} allocations over "
+        f"{len(monitor.series())} links, "
+        f"peak utilization {monitor.peak_utilization():.3f}"
+    )
+    return result
+
+
+def test_bench_monitor_overhead(once):
+    result = once(run_overhead_comparison)
+    show(result)
+    bare = result.get("bare").points[BENCH_K]
+    monitored = result.get("monitored").points[BENCH_K]
+    # Sampling every allocation over every loaded link may cost real
+    # work, but it must stay the same order of magnitude as the bare
+    # event loop (generous bound: CI machines are noisy).
+    assert monitored < bare * 5 + 0.05

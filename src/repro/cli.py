@@ -12,6 +12,8 @@ Examples::
     flattree schedule --k 8 --technology mems
     flattree export --k 8 --mode global-random --format dot
     flattree downscale --k 8 --floor 0.5
+    flattree monitor --k 4 --pattern alltoall   # link utilization heatmap
+    flattree fct --ks 4 --monitor          # utilization across a conversion
     flattree info                          # versions + telemetry sinks
     flattree --telemetry fig5 --ks 4      # spans/metrics JSONL to stderr
     flattree --telemetry=run.jsonl fig5   # ... or to a file
@@ -177,7 +179,32 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ks", type=int, nargs="+", default=[4, 6])
     p.add_argument("--flows", type=int, default=24)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--monitor", action="store_true",
+                   help="record link utilization across a mid-run "
+                        "Clos -> global-random conversion (first k only)")
+    p.add_argument("--technology", choices=("mems", "mzi", "packet"),
+                   default="mems")
     p.set_defaults(handler=_fct_handler)
+
+    p = sub.add_parser("monitor",
+                       help="run a traffic pattern under the network "
+                            "monitor; print heatmap + hotspot report")
+    p.add_argument("--k", type=int, default=4)
+    p.add_argument("--mode", choices=[m.value for m in Mode],
+                   default=Mode.CLOS.value)
+    p.add_argument("--pattern", choices=("alltoall", "hotspot"),
+                   default="alltoall")
+    p.add_argument("--flows", type=int, default=0,
+                   help="cap on flow count (0 = the full pattern)")
+    p.add_argument("--interval", type=float, default=0.0,
+                   help="sampling interval in simulated seconds "
+                        "(0 = every allocation event)")
+    p.add_argument("--retention", type=int, default=None,
+                   help="ring-buffer samples kept per link")
+    p.add_argument("--bins", type=int, default=12)
+    p.add_argument("--top", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(handler=_monitor_handler)
 
     p = sub.add_parser("downscale",
                        help="sleep core switches under a throughput floor")
@@ -254,6 +281,16 @@ def _info_handler(args) -> int:
         print(f"telemetry: enabled -> {obs.current_sink().describe()}")
     else:
         print("telemetry: disabled (run with --telemetry[=PATH])")
+    from repro.monitor import CAPABILITIES, DEFAULT_INTERVAL, DEFAULT_RETENTION
+
+    interval = ("every event" if DEFAULT_INTERVAL == 0
+                else f"{DEFAULT_INTERVAL:g}s")
+    print(
+        f"monitor: events {'/'.join(CAPABILITIES)} -> telemetry sinks; "
+        f"sampling interval {interval}, "
+        f"retention {DEFAULT_RETENTION} samples/link "
+        f"(flattree monitor --help)"
+    )
     return 0
 
 
@@ -377,9 +414,97 @@ def _report_handler(args) -> int:
 def _fct_handler(args) -> int:
     from repro.experiments.fct import run_fct
 
+    if args.monitor:
+        return _fct_monitor_handler(args)
     result = run_fct(ks=tuple(args.ks), flows=args.flows, seed=args.seed)
     print(f"== {result.experiment} ==")
     print(result.table())
+    return 0
+
+
+def _technology_by_name(name: str):
+    from repro.core.reconfigure import (
+        MACH_ZEHNDER,
+        MEMS_OPTICAL,
+        PACKET_CHIP,
+    )
+
+    return {"mems": MEMS_OPTICAL, "mzi": MACH_ZEHNDER,
+            "packet": PACKET_CHIP}[name]
+
+
+def _fct_monitor_handler(args) -> int:
+    from repro.experiments.fct import run_fct_monitored
+    from repro.monitor import heatmap_table, hotspot_report
+
+    k = args.ks[0]
+    run = run_fct_monitored(
+        k=k, flows=args.flows, seed=args.seed,
+        technology=_technology_by_name(args.technology),
+    )
+    print(f"== monitored FCT across a live conversion, k={k} ==")
+    print(f"plan: {run.plan_summary}")
+    print(f"schedule: {run.schedule.summary()}")
+    print(
+        f"conversion at t={run.t_convert:.4f}, "
+        f"fabric restored at t={run.t_restored:.4f}"
+    )
+    print(
+        f"clos phase: {len(run.before.completed)} flows, "
+        f"mean FCT {run.before.mean_fct:.4f}; converted phase: "
+        f"{len(run.after.completed)} flows, "
+        f"mean FCT {run.after.mean_fct:.4f}"
+    )
+    print(
+        f"disruption: {run.disrupted_fraction:.3f} of in-flight flows "
+        f"crossed a blinking link; {run.dark_traffic * 1e3:.4f} "
+        f"flow-ms traversed dark links"
+    )
+    print()
+    print(heatmap_table(run.monitor, top=args.flows // 4 or 4))
+    print()
+    print(hotspot_report(run.monitor))
+    return 0
+
+
+def _monitor_handler(args) -> int:
+    import random
+
+    from repro.experiments.fct import _hotspot_workload
+    from repro.flowsim.simulator import FlowSimulator, FlowSpec
+    from repro.monitor import NetworkMonitor, heatmap_table, hotspot_report
+
+    controller = Controller(FlatTree(FlatTreeDesign.for_fat_tree(args.k)))
+    controller.apply_mode(Mode(args.mode))
+    net = controller.network
+    rng = random.Random(args.seed)
+    if args.pattern == "alltoall":
+        pairs = [(a, b) for a in net.servers() for b in net.servers()
+                 if a != b]
+        if args.flows and args.flows < len(pairs):
+            pairs = rng.sample(pairs, args.flows)
+        flows = [FlowSpec(i, a, b, size=1.0)
+                 for i, (a, b) in enumerate(pairs)]
+    else:
+        flows = _hotspot_workload(net.num_servers, args.flows or 24, rng)
+
+    kwargs = {"interval": args.interval}
+    if args.retention is not None:
+        kwargs["retention"] = args.retention
+    monitor = NetworkMonitor(net, **kwargs)
+    sim = FlowSimulator(net, controller.route, monitor=monitor).run(flows)
+
+    print(f"== network monitor: {args.pattern} on {net.name} "
+          f"(k={args.k}) ==")
+    print(f"{monitor.describe()}")
+    print(
+        f"{len(flows)} flows, mean FCT {sim.mean_fct:.4f}, "
+        f"makespan {sim.makespan:.4f}"
+    )
+    print()
+    print(heatmap_table(monitor, bins=args.bins, top=args.top))
+    print()
+    print(hotspot_report(monitor, top=args.top))
     return 0
 
 

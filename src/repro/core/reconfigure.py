@@ -61,10 +61,18 @@ PACKET_CHIP = Technology("packet chip port-forwarding",
 
 @dataclass
 class Schedule:
-    """A staged execution of a reconfiguration plan."""
+    """A staged execution of a reconfiguration plan.
+
+    ``dark_links`` parallels ``batches``: the physical links that blink
+    while batch *i* switches, which :func:`audit` replays into a
+    :class:`~repro.monitor.NetworkMonitor` downtime ledger.
+    """
 
     technology: Technology
     batches: List[List] = field(default_factory=list)
+    dark_links: List[List[Tuple[SwitchId, SwitchId]]] = field(
+        default_factory=list
+    )
 
     @property
     def num_batches(self) -> int:
@@ -85,6 +93,24 @@ class Schedule:
         if not self.batches:
             return 0.0
         return self.technology.switch_delay
+
+    def batch_windows(self, start: float = 0.0) -> List[Tuple[float, float]]:
+        """The dark interval of every batch, as ``(down_t, up_t)``.
+
+        Batch *i* begins at ``start + i * (control_overhead +
+        switch_delay)``; its circuits are dark for exactly
+        ``switch_delay`` after the control round-trip commits — the
+        per-batch decomposition of :attr:`total_time` and
+        :attr:`blink_window`.
+        """
+        tech = self.technology
+        windows: List[Tuple[float, float]] = []
+        for index in range(self.num_batches):
+            begin = start + index * (tech.control_overhead
+                                     + tech.switch_delay)
+            down = begin + tech.control_overhead
+            windows.append((down, down + tech.switch_delay))
+        return windows
 
     def summary(self) -> str:
         return (
@@ -130,34 +156,45 @@ def _build_schedule(
 ) -> Schedule:
     from repro.topology.stats import is_connected
 
-    dark_links = _links_by_converter(plan)
+    dark_by_converter = _links_by_converter(plan)
 
     batches: List[List] = []
+    batch_links: List[List[Tuple[SwitchId, SwitchId]]] = []
     current: List = []
+    current_links: List[Tuple[SwitchId, SwitchId]] = []
     scratch = before.copy()
     removed: List[Tuple[SwitchId, SwitchId]] = []
     for cid in converters:
-        candidate = dark_links.get(cid, [])
+        candidate = dark_by_converter.get(cid, [])
+        taken: List[Tuple[SwitchId, SwitchId]] = []
         for u, v in candidate:
             if scratch.capacity(u, v) > 0:
                 scratch.remove_cable(u, v)
                 removed.append((u, v))
+                taken.append((u, v))
         if len(current) >= max_batch or not is_connected(scratch):
             # Close the batch, restore scratch, start fresh with cid.
             if current:
                 batches.append(current)
+                batch_links.append(current_links)
             current = []
+            current_links = []
             for u, v in removed:
                 scratch.add_cable(u, v)
             removed = []
+            taken = []
             for u, v in candidate:
                 if scratch.capacity(u, v) > 0:
                     scratch.remove_cable(u, v)
                     removed.append((u, v))
+                    taken.append((u, v))
         current.append(cid)
+        current_links.extend(taken)
     if current:
         batches.append(current)
-    return Schedule(technology=technology, batches=batches)
+        batch_links.append(current_links)
+    return Schedule(technology=technology, batches=batches,
+                    dark_links=batch_links)
 
 
 def _links_by_converter(plan: ReconfigurationPlan) -> Dict:
@@ -187,6 +224,44 @@ def _touches(cid, switch: SwitchId) -> bool:
     if switch.kind in ("edge", "agg"):
         return switch.pod == cid.pod
     return False
+
+
+def audit(
+    sched: Schedule,
+    monitor,
+    start: float = 0.0,
+) -> float:
+    """Replay a schedule's blink timeline into a network monitor.
+
+    For every batch, every link that blinks emits ``link_down`` at the
+    batch's dark instant and ``link_up`` when the circuit switches
+    complete, filling the monitor's downtime ledger
+    (:meth:`~repro.monitor.NetworkMonitor.downtime`).  By construction,
+    each link's total dark time equals :attr:`Schedule.blink_window`
+    per blink — the ledger is the event-level cross-check of the
+    schedule's batch arithmetic.  Returns the instant the conversion
+    finishes (``start + total_time``).
+    """
+    windows = sched.batch_windows(start)
+    links_down = 0
+    for (down_t, up_t), links in zip(windows, sched.dark_links):
+        # Parallel cables of one bundle blink together: one ledger
+        # window per physical link pair per batch.
+        unique: List[Tuple[SwitchId, SwitchId]] = []
+        seen = set()
+        for u, v in links:
+            key = frozenset((u, v))
+            if key not in seen:
+                seen.add(key)
+                unique.append((u, v))
+        for u, v in unique:
+            monitor.link_down(down_t, u, v)
+        for u, v in unique:
+            monitor.link_up(up_t, u, v)
+        links_down += len(unique)
+    obs.incr("core.reconfigure.audits")
+    obs.incr("core.reconfigure.audited_links_down", links_down)
+    return start + sched.total_time
 
 
 def disruption(

@@ -14,14 +14,29 @@ metric families (see docs/observability.md).
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
 from typing import Sequence, Tuple
 
 from repro.core.controller import Controller
 from repro.core.conversion import Mode
+from repro.errors import ReproError
 from repro.core.design import FlatTreeDesign
 from repro.core.flattree import FlatTree
+from repro.core.reconfigure import (
+    MEMS_OPTICAL,
+    Schedule,
+    Technology,
+    audit,
+    disruption,
+    schedule,
+)
 from repro.experiments.common import ExperimentResult
-from repro.flowsim.simulator import FlowSimulator, FlowSpec
+from repro.flowsim.simulator import (
+    FlowSimulator,
+    FlowSpec,
+    SimulationResult,
+)
+from repro.monitor import NetworkMonitor
 
 #: Modes compared; LOCAL_RANDOM adds nothing at small k and slows CI.
 FCT_MODES: Tuple[Mode, ...] = (Mode.CLOS, Mode.GLOBAL_RANDOM)
@@ -69,3 +84,95 @@ def run_fct(
         f"hot-spot server; identical workload replayed per mode"
     )
     return result
+
+
+@dataclass
+class MonitoredConversionRun:
+    """Artifacts of an FCT run monitored across a live conversion."""
+
+    monitor: NetworkMonitor
+    schedule: Schedule
+    plan_summary: str
+    t_convert: float
+    t_restored: float
+    before: SimulationResult
+    after: SimulationResult
+    dark_traffic: float
+    disrupted_fraction: float
+
+
+def run_fct_monitored(
+    k: int = 4,
+    flows: int = 24,
+    seed: int = 0,
+    technology: Technology = MEMS_OPTICAL,
+    interval: float = 0.0,
+) -> MonitoredConversionRun:
+    """FCT run with the network monitor across a mid-run conversion.
+
+    Timeline: the hot-spot workload's first half runs on Clos with a
+    :class:`~repro.monitor.NetworkMonitor` sampling every allocation;
+    at ``t_convert`` (mid-run of the Clos phase) the controller
+    converts to global-random and :func:`repro.core.reconfigure.audit`
+    replays the schedule's blink windows into the monitor's downtime
+    ledger; the second half then runs on the converted fabric, arrivals
+    stamped after the conversion completes, with the *same* monitor
+    rebound to the new materialization.  The conversion is modeled as
+    overlapping the Clos phase's tail (the fluid simulator cannot swap
+    fabrics mid-event-loop), which is exactly what makes the
+    ``dark_traffic`` figure non-trivial: it measures the flow-seconds
+    of in-flight Clos traffic that crossed links while they blinked.
+    """
+    if flows < 2:
+        raise ReproError("monitored FCT needs at least 2 flows "
+                         "(one per conversion phase)")
+    design = FlatTreeDesign.for_fat_tree(k)
+    controller = Controller(FlatTree(design))
+    workload = _hotspot_workload(
+        design.params.num_servers, flows, random.Random(seed)
+    )
+    first, second = workload[: flows // 2], workload[flows // 2:]
+
+    monitor = NetworkMonitor(controller.network, interval=interval)
+    sim_before = FlowSimulator(
+        controller.network, controller.route, monitor=monitor
+    ).run(list(first))
+
+    t_convert = 0.5 * sim_before.makespan
+    before_net = controller.network
+    plan = controller.apply_mode(Mode.GLOBAL_RANDOM)
+    sched = schedule(plan, before_net, technology=technology)
+    t_restored = audit(sched, monitor, start=t_convert)
+
+    dark = monitor.dark_traffic(
+        (c.path, c.start, c.finish)
+        for c in sim_before.completed
+        if c.path is not None
+    )
+    disrupted = disruption(
+        plan,
+        [(c.spec.flow_id, c.path) for c in sim_before.completed
+         if c.path is not None],
+    )
+
+    monitor.rebind(controller.network)
+    shifted = [
+        FlowSpec(spec.flow_id, spec.src_server, spec.dst_server,
+                 spec.size, arrival=t_restored + spec.arrival)
+        for spec in second
+    ]
+    sim_after = FlowSimulator(
+        controller.network, controller.route, monitor=monitor
+    ).run(shifted)
+
+    return MonitoredConversionRun(
+        monitor=monitor,
+        schedule=sched,
+        plan_summary=plan.summary(),
+        t_convert=t_convert,
+        t_restored=t_restored,
+        before=sim_before,
+        after=sim_after,
+        dark_traffic=dark,
+        disrupted_fraction=disrupted,
+    )

@@ -3,6 +3,7 @@
 from repro.flowsim.fairshare import (
     FairShareResult,
     RoutedFlow,
+    link_allocation,
     max_min_fair_rates,
 )
 from repro.flowsim.simulator import (
@@ -19,5 +20,6 @@ __all__ = [
     "FlowSpec",
     "RoutedFlow",
     "SimulationResult",
+    "link_allocation",
     "max_min_fair_rates",
 ]

@@ -65,8 +65,34 @@ def _directed_key(u: SwitchId, v: SwitchId) -> LinkKey:
     return (u, v)
 
 
+def link_allocation(
+    flows: List[RoutedFlow], rates: Dict[int, float]
+) -> Tuple[Dict[LinkKey, float], Dict[LinkKey, int]]:
+    """Fold per-flow rates into per-directed-link (rate, flow count).
+
+    The monitoring plane's view of an allocation: summing the returned
+    rates over all links equals ``sum(rate * hops)`` over the flows,
+    which tests use to cross-check monitor samples against the
+    allocator.  Infinite-rate (zero-hop) flows touch no link.
+    """
+    link_rates: Dict[LinkKey, float] = {}
+    link_flows: Dict[LinkKey, int] = {}
+    for flow in flows:
+        rate = rates[flow.flow_id]
+        if not math.isfinite(rate):
+            continue
+        for u, v in flow.path.edges():
+            key = _directed_key(u, v)
+            link_rates[key] = link_rates.get(key, 0.0) + rate
+            link_flows[key] = link_flows.get(key, 0) + 1
+    return link_rates, link_flows
+
+
 def max_min_fair_rates(
-    net: Network, flows: List[RoutedFlow]
+    net: Network,
+    flows: List[RoutedFlow],
+    monitor=None,
+    now: float = 0.0,
 ) -> FairShareResult:
     """Progressive filling over directed link capacities.
 
@@ -74,9 +100,19 @@ def max_min_fair_rates(
     direction (full-duplex, consistent with the MCF model).  Runs in
     O(links x flows) in the worst case — fine for the tens of thousands
     of flows the examples and benches use.
+
+    ``monitor`` (a :class:`repro.monitor.NetworkMonitor`, or anything
+    with ``on_allocation``) receives the per-directed-link rates and
+    active-flow counts of this allocation, stamped at simulated time
+    ``now``; ``None`` skips all monitoring work.
     """
     capacity: Dict[LinkKey, float] = {}
     for u, v, cap in net.edge_list():
+        if cap <= 0:
+            raise ReproError(
+                f"link {u!r} - {v!r} has non-positive capacity {cap}; "
+                f"flows crossing it could never be allocated a rate"
+            )
         capacity[_directed_key(u, v)] = cap
         capacity[_directed_key(v, u)] = cap
 
@@ -135,6 +171,8 @@ def max_min_fair_rates(
             if flow.flow_id in active:
                 _freeze(flow, best_share, rates, active, remaining,
                         active_count)
+    if monitor is not None:
+        monitor.on_allocation(now, *link_allocation(flows, rates))
     return FairShareResult(rates=rates)
 
 

@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Optional
 from repro import obs
 from repro.errors import ReproError
 from repro.flowsim.fairshare import RoutedFlow, max_min_fair_rates
+from repro.obs.stats import nearest_rank_quantile
 from repro.routing.base import Path
 from repro.topology.elements import Network
 
@@ -53,6 +54,7 @@ class CompletedFlow:
     start: float
     finish: float
     path_hops: int
+    path: Optional[Path] = None
 
     @property
     def duration(self) -> float:
@@ -75,9 +77,9 @@ class SimulationResult:
     def p99_fct(self) -> float:
         if not self.completed:
             raise ReproError("no completed flows")
-        durations = sorted(c.duration for c in self.completed)
-        index = min(len(durations) - 1, int(math.ceil(0.99 * len(durations))) - 1)
-        return durations[index]
+        return nearest_rank_quantile(
+            (c.duration for c in self.completed), 0.99
+        )
 
     @property
     def makespan(self) -> float:
@@ -91,11 +93,19 @@ Router = Callable[[int, int, int], Path]
 
 
 class FlowSimulator:
-    """Discrete-event fluid simulation over a fixed topology."""
+    """Discrete-event fluid simulation over a fixed topology.
 
-    def __init__(self, net: Network, router: Router) -> None:
+    ``monitor`` (a :class:`repro.monitor.NetworkMonitor`) receives the
+    per-link allocation of every rate recomputation, stamped with
+    simulated time — the flowsim side of the network monitoring plane.
+    ``None`` (the default) keeps the event loop monitoring-free.
+    """
+
+    def __init__(self, net: Network, router: Router,
+                 monitor=None) -> None:
         self.net = net
         self.router = router
+        self.monitor = monitor
 
     def run(
         self, flows: List[FlowSpec], max_events: Optional[int] = None
@@ -153,6 +163,8 @@ class FlowSimulator:
             rates = max_min_fair_rates(
                 self.net,
                 [RoutedFlow(fid, paths[fid]) for fid in active],
+                monitor=self.monitor,
+                now=now,
             ).rates
             recomputes += 1
             # Next event: earliest completion vs next arrival.
@@ -187,6 +199,7 @@ class FlowSimulator:
                         start=spec.arrival,
                         finish=now,
                         path_hops=paths[fid].hops,
+                        path=paths[fid],
                     )
                 )
                 del remaining[fid]

@@ -1,0 +1,35 @@
+"""repro.monitor — the network-plane observability layer.
+
+Where :mod:`repro.obs` watches the *process* (spans, counters,
+wall-clock), this package watches the *network*: per-directed-link
+utilization time series fed by the max-min allocator and the flowsim
+event loop, per-switch aggregate load, conversion downtime ledgers fed
+by the reconfiguration engine, and derived hotspot/imbalance stats.
+See ``docs/observability.md`` for the metric catalog and
+``flattree monitor`` for the CLI surface.
+"""
+
+from repro.monitor.network import (
+    CAPABILITIES,
+    DEFAULT_INTERVAL,
+    DEFAULT_RETENTION,
+    LinkSample,
+    LinkSeries,
+    NetworkMonitor,
+    link_label,
+    switch_label,
+)
+from repro.monitor.report import heatmap_table, hotspot_report
+
+__all__ = [
+    "CAPABILITIES",
+    "DEFAULT_INTERVAL",
+    "DEFAULT_RETENTION",
+    "LinkSample",
+    "LinkSeries",
+    "NetworkMonitor",
+    "heatmap_table",
+    "hotspot_report",
+    "link_label",
+    "switch_label",
+]

@@ -1,0 +1,134 @@
+"""Text rendering of monitor contents: heatmap, hotspots, downtime.
+
+The monitor's CLI surface (``flattree monitor``) and the ``fct
+--monitor`` experiment print these tables — the library's equivalent
+of a Grafana link-utilization dashboard, in aligned monospace text
+like every other table in the repository.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.monitor.network import LinkSeries, NetworkMonitor, link_label, switch_label
+
+
+def _cell(utilization: float) -> str:
+    """3-char utilization cell: integer percent, capped at 999."""
+    return f"{min(999, int(round(utilization * 100))):>3}"
+
+
+def heatmap_table(
+    monitor: NetworkMonitor, bins: int = 12, top: int = 10
+) -> str:
+    """Utilization-over-time heatmap of the busiest links.
+
+    One row per hotspot link, one column per time bin; cells show mean
+    utilization in the bin as an integer percent, ``-`` where the ring
+    buffer retained no sample.  Only retained samples render (running
+    peak/mean stats in the hotspot report stay exact regardless).
+    """
+    links = monitor.hotspots(top)
+    links = [s for s in links if s.samples]
+    if not links:
+        return "(no link samples recorded)"
+    t0, t1 = monitor.time_range()
+    width = (t1 - t0) or 1.0
+    name_w = max(len("link"), *(len(link_label(*s.key)) for s in links))
+    header = (f"{'link':<{name_w}}  "
+              + " ".join(f"{i:>3}" for i in range(bins))
+              + "   peak")
+    lines = [
+        f"utilization % over t=[{t0:.3g}, {t1:.3g}] in {bins} bins",
+        header,
+        "-" * len(header),
+    ]
+    for series in links:
+        sums = [0.0] * bins
+        counts = [0] * bins
+        for sample in series.samples:
+            index = min(bins - 1, int((sample.t - t0) / width * bins))
+            sums[index] += sample.utilization
+            counts[index] += 1
+        cells = [
+            _cell(sums[i] / counts[i]) if counts[i] else "  -"
+            for i in range(bins)
+        ]
+        lines.append(
+            f"{link_label(*series.key):<{name_w}}  "
+            + " ".join(cells)
+            + f"  {_cell(series.peak)}"
+        )
+    return "\n".join(lines)
+
+
+def _hotspot_rows(links: List[LinkSeries]) -> List[str]:
+    name_w = max(len("link"), *(len(link_label(*s.key)) for s in links))
+    header = (f"{'link':<{name_w}}  {'cap':>5}  {'peak':>6}  {'mean':>6}  "
+              f"{'p99':>6}  {'flows':>5}  {'samples':>7}")
+    rows = [header, "-" * len(header)]
+    for series in links:
+        rows.append(
+            f"{link_label(*series.key):<{name_w}}  "
+            f"{series.capacity:>5.1f}  "
+            f"{series.peak:>6.3f}  "
+            f"{series.mean_utilization:>6.3f}  "
+            f"{series.utilization_quantile(0.99):>6.3f}  "
+            f"{series.peak_flows:>5}  "
+            f"{series.count:>7}"
+        )
+    return rows
+
+
+def hotspot_report(monitor: NetworkMonitor, top: int = 10) -> str:
+    """Hotspot links, busiest switches, imbalance, and downtime ledger."""
+    links = monitor.hotspots(top)
+    links = [s for s in links if s.count]
+    lines: List[str] = []
+    if not links:
+        lines.append("(no link samples recorded)")
+    else:
+        lines.append(f"top {len(links)} links by peak utilization:")
+        lines.extend(_hotspot_rows(links))
+        loads = sorted(
+            monitor.switch_loads().items(), key=lambda item: -item[1]
+        )[:max(1, top // 2)]
+        peaks = monitor.switch_peak_loads()
+        lines.append("")
+        lines.append("busiest switches (mean aggregate load, rate units):")
+        for switch, load in loads:
+            lines.append(
+                f"  {switch_label(switch):<10}  mean {load:>7.3f}  "
+                f"peak {peaks.get(switch, 0.0):>7.3f}"
+            )
+        lines.append("")
+        lines.append(
+            f"imbalance: gini {monitor.gini():.3f}, "
+            f"max/mean {monitor.max_min_imbalance():.2f}, "
+            f"peak link utilization {monitor.peak_utilization():.3f}"
+        )
+        lines.append(
+            f"coverage: {monitor.samples_taken}/{monitor.events_seen} "
+            f"allocation events sampled over "
+            f"{len(monitor.series())} loaded links"
+        )
+    downtime = monitor.downtime()
+    if downtime:
+        lines.append("")
+        lines.append("downtime ledger (per physical link):")
+        for key, dark in sorted(
+            downtime.items(), key=lambda item: (-item[1], link_label(*item[0]))
+        )[:top]:
+            windows = monitor.dark_windows(*key)
+            lines.append(
+                f"  {link_label(*key):<24}  dark {dark * 1e3:8.3f} ms "
+                f"in {len(windows)} window(s)"
+            )
+        shown = min(top, len(downtime))
+        if shown < len(downtime):
+            lines.append(f"  ... and {len(downtime) - shown} more links")
+        lines.append(
+            f"  total: {len(downtime)} links dark for "
+            f"{monitor.total_dark_time() * 1e3:.3f} link-ms"
+        )
+    return "\n".join(lines)

@@ -34,6 +34,7 @@ from repro.obs.registry import (
     Timer,
 )
 from repro.obs.render import render_table
+from repro.obs.stats import gini, nearest_rank_quantile
 from repro.obs.sinks import (
     FileSink,
     MemorySink,
@@ -75,7 +76,9 @@ __all__ = [
     "enable",
     "enabled",
     "event",
+    "gini",
     "incr",
+    "nearest_rank_quantile",
     "observe",
     "registry",
     "render_table",

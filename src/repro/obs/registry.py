@@ -18,6 +18,7 @@ import time
 from typing import Dict, List, Optional
 
 from repro.errors import ReproError
+from repro.obs.stats import nearest_rank_quantile
 
 
 class Counter:
@@ -104,14 +105,7 @@ class Histogram:
 
     def quantile(self, q: float) -> float:
         """Nearest-rank quantile over the retained samples."""
-        if not 0.0 <= q <= 1.0:
-            raise ReproError(f"quantile must be in [0, 1], got {q}")
-        if not self._samples:
-            return math.nan
-        ordered = sorted(self._samples)
-        index = min(len(ordered) - 1,
-                    max(0, int(math.ceil(q * len(ordered))) - 1))
-        return ordered[index]
+        return nearest_rank_quantile(self._samples, q)
 
     def snapshot(self) -> dict:
         return {

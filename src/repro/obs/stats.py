@@ -1,0 +1,52 @@
+"""Shared statistics helpers used across telemetry and simulation.
+
+One implementation of nearest-rank quantile indexing serves the
+metrics registry (:class:`~repro.obs.registry.Histogram`), simulation
+results (:class:`~repro.flowsim.simulator.SimulationResult`) and the
+network monitor's derived link statistics, so the three subsystems can
+never drift apart on percentile semantics.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.errors import ReproError
+
+
+def nearest_rank_quantile(values: Iterable[float], q: float) -> float:
+    """Nearest-rank quantile of ``values`` (``nan`` when empty).
+
+    Uses the inclusive nearest-rank definition: the smallest sample
+    whose rank is at least ``ceil(q * n)``, clamped to the sample range,
+    so ``q=0`` is the minimum and ``q=1`` the maximum.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ReproError(f"quantile must be in [0, 1], got {q}")
+    ordered = sorted(values)
+    if not ordered:
+        return math.nan
+    index = min(len(ordered) - 1,
+                max(0, int(math.ceil(q * len(ordered))) - 1))
+    return ordered[index]
+
+
+def gini(values: Iterable[float]) -> float:
+    """Gini coefficient of a non-negative distribution (0 = balanced).
+
+    The monitor uses it over per-link mean utilizations as the
+    load-imbalance summary: 0 means every link carries the same load,
+    values toward 1 mean a few links carry nearly everything.
+    """
+    ordered = sorted(values)
+    n = len(ordered)
+    if n == 0:
+        return 0.0
+    if any(v < 0 for v in ordered):
+        raise ReproError("gini requires non-negative values")
+    total = sum(ordered)
+    if total == 0:
+        return 0.0
+    weighted = sum((2 * i - n + 1) * v for i, v in enumerate(ordered))
+    return weighted / (n * total)

@@ -12,7 +12,9 @@ from repro.core.reconfigure import (
     MACH_ZEHNDER,
     MEMS_OPTICAL,
     PACKET_CHIP,
+    Schedule,
     Technology,
+    audit,
     disruption,
     schedule,
 )
@@ -100,6 +102,70 @@ class TestSchedule:
         _controller, before, plan = converted
         with pytest.raises(ConfigurationError):
             schedule(plan, before, max_batch=0)
+
+
+class TestBatchWindows:
+    def test_arithmetic_decomposes_total_time(self, converted):
+        _controller, before, plan = converted
+        sched = schedule(plan, before, max_batch=8)
+        windows = sched.batch_windows(start=10.0)
+        assert len(windows) == sched.num_batches
+        tech = sched.technology
+        for i, (down, up) in enumerate(windows):
+            begin = 10.0 + i * (tech.control_overhead + tech.switch_delay)
+            assert down == pytest.approx(begin + tech.control_overhead)
+            assert up - down == pytest.approx(sched.blink_window)
+        assert windows[-1][1] == pytest.approx(10.0 + sched.total_time)
+
+    def test_dark_links_parallel_batches(self, converted):
+        _controller, before, plan = converted
+        sched = schedule(plan, before)
+        assert len(sched.dark_links) == sched.num_batches
+        # Every removed link blinks in exactly one batch.
+        blinked = [frozenset(pair)
+                   for links in sched.dark_links for pair in links]
+        assert set(blinked) == {
+            frozenset(pair) for pair in plan.links_removed
+        }
+
+    def test_empty_schedule_has_no_windows(self):
+        sched = Schedule(technology=MEMS_OPTICAL)
+        assert sched.batch_windows() == []
+
+
+class TestAudit:
+    def test_ledger_matches_blink_window(self, converted):
+        """The event-level ledger reproduces the batch arithmetic."""
+        from repro.monitor import NetworkMonitor
+
+        controller, before, plan = converted
+        sched = schedule(plan, before, technology=MEMS_OPTICAL)
+        monitor = NetworkMonitor(before)
+        finish = audit(sched, monitor, start=1.0)
+        assert finish == pytest.approx(1.0 + sched.total_time)
+        downtime = monitor.downtime()
+        assert downtime
+        for dark in downtime.values():
+            assert dark == pytest.approx(sched.blink_window)
+        assert monitor.open_dark_links() == []
+        assert monitor.total_dark_time() == pytest.approx(
+            len(downtime) * sched.blink_window
+        )
+
+    def test_parallel_cables_blink_once_per_batch(self, converted):
+        """Duplicate (u, v) pairs in one batch yield one ledger window."""
+        from repro.monitor import NetworkMonitor
+
+        _controller, before, plan = converted
+        u, v = plan.links_removed[0]
+        sched = Schedule(technology=MEMS_OPTICAL,
+                         batches=[["c0"]],
+                         dark_links=[[(u, v), (u, v), (v, u)]])
+        monitor = NetworkMonitor(before)
+        audit(sched, monitor)
+        assert monitor.dark_windows(u, v) == [
+            pytest.approx(w) for w in sched.batch_windows()
+        ]
 
 
 class TestDisruption:

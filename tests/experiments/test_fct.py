@@ -2,7 +2,11 @@
 
 from __future__ import annotations
 
-from repro.experiments.fct import run_fct
+import pytest
+
+from repro.core.reconfigure import MACH_ZEHNDER
+from repro.errors import ReproError
+from repro.experiments.fct import run_fct, run_fct_monitored
 
 
 class TestRunFct:
@@ -21,3 +25,46 @@ class TestRunFct:
         result = run_fct(ks=(4,), flows=12, seed=0)
         table = result.table()
         assert "clos" in table and "global-random" in table
+
+
+class TestRunFctMonitored:
+    @pytest.fixture(scope="class")
+    def run(self):
+        return run_fct_monitored(k=4, flows=12, seed=0)
+
+    def test_timeline_is_consistent(self, run):
+        assert run.t_convert == pytest.approx(0.5 * run.before.makespan)
+        assert run.t_restored == pytest.approx(
+            run.t_convert + run.schedule.total_time
+        )
+        # Phase B arrivals are stamped after the conversion completes.
+        assert min(c.start for c in run.after.completed) >= run.t_restored
+
+    def test_ledger_cross_checks_schedule(self, run):
+        downtime = run.monitor.downtime()
+        assert downtime
+        for dark in downtime.values():
+            assert dark == pytest.approx(run.schedule.blink_window)
+
+    def test_monitor_spans_both_phases(self, run):
+        assert run.monitor.samples_taken >= 2
+        _t0, t1 = run.monitor.time_range()
+        assert t1 >= run.t_restored
+
+    def test_disruption_and_dark_traffic_bounded(self, run):
+        assert 0.0 <= run.disrupted_fraction <= 1.0
+        assert run.dark_traffic >= 0.0
+        # The conversion overlaps the Clos tail, so the MEMS 25 ms
+        # blinks must intersect some in-flight flow lifetime.
+        assert run.dark_traffic > 0.0
+
+    def test_technology_changes_dark_traffic(self):
+        mems = run_fct_monitored(k=4, flows=12, seed=0)
+        mzi = run_fct_monitored(k=4, flows=12, seed=0,
+                                technology=MACH_ZEHNDER)
+        assert mzi.schedule.blink_window < mems.schedule.blink_window
+        assert mzi.dark_traffic < mems.dark_traffic
+
+    def test_too_few_flows_rejected(self):
+        with pytest.raises(ReproError):
+            run_fct_monitored(k=4, flows=1)

@@ -9,7 +9,12 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.flowsim.fairshare import RoutedFlow, max_min_fair_rates
+from repro.errors import ReproError
+from repro.flowsim.fairshare import (
+    RoutedFlow,
+    link_allocation,
+    max_min_fair_rates,
+)
 from repro.routing.base import Path
 from repro.routing.ksp import k_shortest_paths
 from repro.topology.elements import Network, PlainSwitch
@@ -108,6 +113,92 @@ class TestKnownAllocations:
         assert result.total == pytest.approx(2.0)
         assert result.min_rate == pytest.approx(1.0)
         assert set(result.bounded_rates()) == {1, 2}
+
+
+class TestEdgeCases:
+    def test_zero_capacity_link_rejected(self):
+        net = line()
+        net.add_cable(PlainSwitch(0), PlainSwitch(2), capacity=0.0)
+        with pytest.raises(ReproError, match="non-positive capacity"):
+            max_min_fair_rates(net, [RoutedFlow(1, p(0, 1))])
+
+    def test_single_flow_bounded_rates(self):
+        net = line()
+        result = max_min_fair_rates(net, [RoutedFlow(7, p(0, 1, 2))])
+        assert result.bounded_rates() == {7: pytest.approx(1.0)}
+        assert result.total == pytest.approx(1.0)
+        assert result.min_rate == pytest.approx(1.0)
+
+    def test_zero_hop_flow_excluded_from_bounded_rates(self):
+        net = line()
+        result = max_min_fair_rates(
+            net, [RoutedFlow(1, p(0)), RoutedFlow(2, p(0, 1))]
+        )
+        assert set(result.bounded_rates()) == {2}
+
+    def test_deterministic_across_flow_orderings(self):
+        """Same flow set, any presentation order: identical rates."""
+        net = line()
+        flows = [
+            RoutedFlow(1, p(0, 1, 2)),
+            RoutedFlow(2, p(0, 1)),
+            RoutedFlow(3, p(1, 2)),
+            RoutedFlow(4, p(0, 1), demand=0.1),
+        ]
+        baseline = max_min_fair_rates(net, flows).rates
+        rng = random.Random(42)
+        for _ in range(6):
+            shuffled = list(flows)
+            rng.shuffle(shuffled)
+            assert max_min_fair_rates(net, shuffled).rates == baseline
+
+
+class TestLinkAllocation:
+    def test_folds_rates_per_directed_link(self):
+        flows = [RoutedFlow(1, p(0, 1, 2)), RoutedFlow(2, p(0, 1))]
+        rates = {1: 0.5, 2: 0.5}
+        link_rates, link_flows = link_allocation(flows, rates)
+        key01 = (PlainSwitch(0), PlainSwitch(1))
+        key12 = (PlainSwitch(1), PlainSwitch(2))
+        assert link_rates == {key01: pytest.approx(1.0),
+                              key12: pytest.approx(0.5)}
+        assert link_flows == {key01: 2, key12: 1}
+        # Total over links equals sum(rate * hops).
+        assert sum(link_rates.values()) == pytest.approx(
+            sum(rates[f.flow_id] * f.path.hops for f in flows)
+        )
+
+    def test_infinite_rate_flows_touch_no_link(self):
+        flows = [RoutedFlow(1, p(0))]
+        link_rates, link_flows = link_allocation(flows, {1: math.inf})
+        assert link_rates == {} and link_flows == {}
+
+
+class TestMonitorHook:
+    def test_allocation_published_to_monitor(self):
+        class Probe:
+            def __init__(self):
+                self.calls = []
+
+            def on_allocation(self, t, link_rates, link_flows):
+                self.calls.append((t, link_rates, link_flows))
+
+        net = line()
+        probe = Probe()
+        rates = max_min_fair_rates(
+            net, [RoutedFlow(1, p(0, 1, 2))], monitor=probe, now=2.5
+        ).rates
+        (t, link_rates, link_flows), = probe.calls
+        assert t == 2.5
+        assert link_rates[(PlainSwitch(0), PlainSwitch(1))] == (
+            pytest.approx(rates[1])
+        )
+        assert link_flows[(PlainSwitch(1), PlainSwitch(2))] == 1
+
+    def test_no_monitor_is_default(self):
+        net = line()
+        result = max_min_fair_rates(net, [RoutedFlow(1, p(0, 1))])
+        assert result.rates[1] == pytest.approx(1.0)
 
 
 @given(st.integers(min_value=0, max_value=60), st.integers(min_value=2, max_value=24))

@@ -120,6 +120,62 @@ class TestStatistics:
             _ = empty.p99_fct
 
 
+class TestMonitorIntegration:
+    def test_completed_flows_carry_their_path(self, line_net):
+        sim = FlowSimulator(line_net, line_router(line_net))
+        result = sim.run([FlowSpec(1, 0, 2, size=1.0)])
+        assert result.completed[0].path.hops == 2
+
+    def test_monitor_sees_every_allocation(self, line_net):
+        from repro.monitor import NetworkMonitor
+
+        monitor = NetworkMonitor(line_net)
+        sim = FlowSimulator(line_net, line_router(line_net),
+                            monitor=monitor)
+        sim.run([
+            FlowSpec(1, 0, 2, size=1.0),
+            FlowSpec(2, 0, 2, size=3.0),
+        ])
+        # Allocations recompute at t=0 (both arrive) and t=2 (flow 1
+        # completes); the final recompute with no flows publishes too.
+        assert monitor.samples_taken >= 2
+        series = monitor.link_series(
+            PlainSwitch(0), PlainSwitch(1)
+        )
+        # Two flows share the unit link fully, then one runs alone.
+        assert series.peak == pytest.approx(1.0)
+        assert series.samples[0].active_flows == 2
+
+    def test_monitor_rates_match_allocator(self, line_net):
+        """Sum of monitored link rates == sum(rate * hops) per sample."""
+        from repro.flowsim.fairshare import (
+            RoutedFlow,
+            link_allocation,
+            max_min_fair_rates,
+        )
+        from repro.monitor import NetworkMonitor
+
+        monitor = NetworkMonitor(line_net)
+        sim = FlowSimulator(line_net, line_router(line_net),
+                            monitor=monitor)
+        sim.run([
+            FlowSpec(1, 0, 2, size=1.0),
+            FlowSpec(2, 0, 2, size=2.0, arrival=0.5),
+        ])
+        # Replay the first allocation independently through fairshare.
+        flows = [RoutedFlow(1, Path((PlainSwitch(0), PlainSwitch(1),
+                                     PlainSwitch(2))))]
+        rates = max_min_fair_rates(line_net, flows).rates
+        link_rates, _ = link_allocation(flows, rates)
+        first = {
+            key: series.samples[0].rate
+            for key in link_rates
+            if (series := monitor.link_series(*key)) is not None
+        }
+        assert first == {k: pytest.approx(v)
+                         for k, v in link_rates.items()}
+
+
 class TestValidation:
     def test_bad_size_rejected(self):
         with pytest.raises(ReproError):

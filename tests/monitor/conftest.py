@@ -1,0 +1,41 @@
+"""Monitor test fixtures: small fabrics and isolated telemetry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs.sinks import MemorySink
+from repro.topology.elements import Network, PlainSwitch
+
+
+@pytest.fixture()
+def clean_obs():
+    """Guarantee telemetry is off and the registry empty around a test."""
+    obs.disable()
+    obs.registry.reset()
+    yield
+    obs.disable()
+    obs.registry.reset()
+
+
+@pytest.fixture()
+def memory_sink(clean_obs) -> MemorySink:
+    """Telemetry enabled onto an in-memory sink (metric events on)."""
+    sink = MemorySink()
+    obs.enable(sink, emit_metric_events=True)
+    return sink
+
+
+@pytest.fixture()
+def line_net():
+    """sw0 - sw1 - sw2, unit capacities, servers 0/1 at the ends."""
+    net = Network("line")
+    nodes = [PlainSwitch(i) for i in range(3)]
+    for node in nodes:
+        net.add_switch(node, 8)
+    net.add_cable(nodes[0], nodes[1])
+    net.add_cable(nodes[1], nodes[2])
+    net.add_server(0, nodes[0])
+    net.add_server(1, nodes[2])
+    return net

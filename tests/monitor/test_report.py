@@ -1,0 +1,61 @@
+"""Unit tests for the monitor's text report rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.monitor import NetworkMonitor, heatmap_table, hotspot_report
+from repro.topology.elements import PlainSwitch
+
+S0, S1, S2 = PlainSwitch(0), PlainSwitch(1), PlainSwitch(2)
+
+
+@pytest.fixture()
+def busy_monitor(line_net):
+    monitor = NetworkMonitor(line_net)
+    monitor.on_allocation(0.0, {(S0, S1): 1.0, (S1, S2): 0.25},
+                          {(S0, S1): 2, (S1, S2): 1})
+    monitor.on_allocation(1.0, {(S0, S1): 0.5}, {(S0, S1): 1})
+    return monitor
+
+
+class TestHeatmap:
+    def test_bins_and_cells(self, busy_monitor):
+        table = heatmap_table(busy_monitor, bins=2, top=5)
+        lines = table.splitlines()
+        assert lines[0].startswith("utilization % over t=[0, 1]")
+        row = next(l for l in lines if l.startswith("sw0->sw1"))
+        # Bin 0 holds the 100% sample, bin 1 the 50% sample.
+        assert "100" in row and " 50" in row
+        row = next(l for l in lines if l.startswith("sw1->sw2"))
+        # No sample landed in sw1->sw2's second bin.
+        assert " 25" in row and " - " in row + " "
+
+    def test_empty_monitor(self, line_net):
+        assert "(no link samples" in heatmap_table(NetworkMonitor(line_net))
+
+
+class TestHotspotReport:
+    def test_sections_present(self, busy_monitor):
+        busy_monitor.link_down(0.2, S0, S1)
+        busy_monitor.link_up(0.3, S0, S1)
+        text = hotspot_report(busy_monitor, top=5)
+        assert "top 2 links by peak utilization:" in text
+        assert "sw0->sw1" in text
+        assert "busiest switches" in text
+        assert "imbalance: gini" in text
+        assert "coverage: 2/2 allocation events" in text
+        assert "downtime ledger" in text
+        assert "dark  100.000 ms" in text
+        assert "total: 1 links dark for 100.000 link-ms" in text
+
+    def test_no_ledger_section_without_downtime(self, busy_monitor):
+        assert "downtime ledger" not in hotspot_report(busy_monitor)
+
+    def test_empty_monitor_with_ledger_only(self, line_net):
+        monitor = NetworkMonitor(line_net)
+        monitor.link_down(0.0, S0, S1)
+        monitor.link_up(0.5, S0, S1)
+        text = hotspot_report(monitor)
+        assert "(no link samples recorded)" in text
+        assert "downtime ledger" in text

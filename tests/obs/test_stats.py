@@ -1,0 +1,91 @@
+"""Unit tests for the shared statistics helpers.
+
+These helpers back three consumers — ``Histogram.quantile``,
+``SimulationResult.p99_fct`` and the monitor's link statistics — so the
+semantics pinned here are the single source of percentile/inequality
+truth for the whole repository.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import gini, nearest_rank_quantile
+
+
+class TestNearestRankQuantile:
+    def test_endpoints_are_min_and_max(self):
+        values = [5.0, 1.0, 3.0]
+        assert nearest_rank_quantile(values, 0.0) == 1.0
+        assert nearest_rank_quantile(values, 1.0) == 5.0
+
+    def test_median_of_even_count_is_lower_middle(self):
+        # Nearest-rank (inclusive): ceil(0.5 * 4) = rank 2.
+        assert nearest_rank_quantile([1, 2, 3, 4], 0.5) == 2
+
+    def test_p99_needs_hundred_samples_to_leave_max(self):
+        values = list(range(100))
+        assert nearest_rank_quantile(values, 0.99) == 98
+        assert nearest_rank_quantile(values[:50], 0.99) == 49
+
+    def test_accepts_any_iterable(self):
+        assert nearest_rank_quantile((v for v in (2.0, 1.0)), 1.0) == 2.0
+
+    def test_empty_is_nan(self):
+        assert math.isnan(nearest_rank_quantile([], 0.5))
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ReproError):
+            nearest_rank_quantile([1.0], 1.5)
+        with pytest.raises(ReproError):
+            nearest_rank_quantile([1.0], -0.1)
+
+    def test_matches_histogram_and_simulation(self):
+        """The three consumers share this exact implementation."""
+        from repro.flowsim.simulator import CompletedFlow, SimulationResult
+        from repro.flowsim.simulator import FlowSpec
+        from repro.obs.registry import Histogram
+
+        durations = [3.0, 1.0, 2.0, 5.0, 4.0]
+        hist = Histogram("h")
+        for value in durations:
+            hist.observe(value)
+        completed = [
+            CompletedFlow(FlowSpec(i, 0, 1, size=1.0), start=0.0,
+                          finish=d, path_hops=1)
+            for i, d in enumerate(durations)
+        ]
+        expected = nearest_rank_quantile(durations, 0.99)
+        assert hist.quantile(0.99) == expected
+        assert SimulationResult(completed=completed).p99_fct == expected
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini([0.5, 0.5, 0.5, 0.5]) == pytest.approx(0.0)
+
+    def test_single_hog_approaches_one(self):
+        # One of n links carries everything: gini = (n - 1) / n.
+        assert gini([0, 0, 0, 1.0]) == pytest.approx(0.75)
+        assert gini([0] * 99 + [1.0]) == pytest.approx(0.99)
+
+    def test_known_value(self):
+        # [1, 3]: |1-3| * 2 pairs / (2 * n^2 * mean) = 4 / 16 = 0.25.
+        assert gini([1.0, 3.0]) == pytest.approx(0.25)
+
+    def test_scale_invariant(self):
+        values = [0.1, 0.4, 0.2, 0.8]
+        assert gini(values) == pytest.approx(
+            gini([v * 1000 for v in values])
+        )
+
+    def test_empty_and_all_zero_are_zero(self):
+        assert gini([]) == 0.0
+        assert gini([0.0, 0.0]) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ReproError):
+            gini([1.0, -0.5])

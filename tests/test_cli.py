@@ -125,6 +125,53 @@ class TestFct:
         assert code == 0
         assert "clos" in out and "global-random" in out
 
+    def test_fct_monitored_conversion(self, capsys):
+        code, out = run_cli(
+            capsys, "fct", "--ks", "4", "--flows", "12", "--monitor"
+        )
+        assert code == 0
+        assert "conversion at t=" in out
+        assert "downtime ledger" in out
+        assert "disruption:" in out
+        assert "traversed dark links" in out
+
+    def test_fct_monitor_technology(self, capsys):
+        code, out = run_cli(
+            capsys, "fct", "--ks", "4", "--flows", "12", "--monitor",
+            "--technology", "mzi",
+        )
+        assert code == 0
+        assert "Mach-Zehnder" in out
+
+
+class TestMonitor:
+    def test_alltoall_heatmap_and_hotspots(self, capsys):
+        code, out = run_cli(
+            capsys, "monitor", "--k", "4", "--pattern", "alltoall",
+            "--flows", "24", "--top", "4",
+        )
+        assert code == 0
+        assert "utilization % over" in out
+        assert "links by peak utilization" in out
+        assert "imbalance: gini" in out
+        assert "->" in out
+
+    def test_hotspot_pattern_with_mode(self, capsys):
+        code, out = run_cli(
+            capsys, "monitor", "--k", "4", "--pattern", "hotspot",
+            "--flows", "8", "--mode", "global-random",
+        )
+        assert code == 0
+        assert "mean FCT" in out
+
+    def test_interval_and_retention_flags(self, capsys):
+        code, out = run_cli(
+            capsys, "monitor", "--k", "4", "--pattern", "hotspot",
+            "--flows", "8", "--interval", "0.5", "--retention", "8",
+        )
+        assert code == 0
+        assert "retention 8" in out
+
 
 class TestDownscale:
     def test_downscale_runs(self, capsys):
@@ -178,6 +225,11 @@ class TestVersionAndInfo:
         assert f"networkx {networkx.__version__}" in out
         assert "telemetry: disabled" in out
 
+    def test_info_lists_monitor_capabilities(self, capsys):
+        _code, out = run_cli(capsys, "info")
+        assert "monitor: events link_sample/link_down/link_up" in out
+        assert "retention 1024" in out
+
     def test_info_reports_enabled_sink(self, capsys):
         code, out = run_cli(capsys, "--telemetry", "info")
         assert code == 0
@@ -219,3 +271,20 @@ class TestTelemetry:
         assert "cli" in names                    # the top-level span
         assert "apply_layout" in names           # the conversion span
         assert "core.controller.reprogrammed" in names
+
+    def test_monitor_run_exports_valid_link_events(self, capsys, tmp_path):
+        import json
+
+        from tools.check_telemetry import check_line
+
+        path = tmp_path / "monitor.jsonl"
+        code, _out = run_cli(
+            capsys, f"--telemetry={path}", "monitor", "--k", "4",
+            "--pattern", "hotspot", "--flows", "8",
+        )
+        assert code == 0
+        lines = path.read_text().strip().splitlines()
+        kinds = {json.loads(line)["kind"] for line in lines}
+        assert "link_sample" in kinds
+        for lineno, line in enumerate(lines, start=1):
+            assert check_line(line, lineno) == [], line

@@ -4,7 +4,12 @@
 Every line must be a JSON object carrying ``ts`` (number), ``name``
 (non-empty string), ``kind`` (one of the known kinds), and either
 ``value`` (number) or ``duration_s`` (non-negative number).  Span
-events must also carry ``path`` and ``depth``.  See
+events must also carry ``path`` and ``depth``; the monitor's
+``link_sample`` / ``link_down`` / ``link_up`` events must carry their
+per-kind fields (``link``, ``t``, and for samples ``utilization`` /
+``rate`` / ``capacity`` / ``active_flows``).  One-off ``event`` lines
+must use a *registered* event name — unknown event types fail the
+check instead of sliding through unvalidated.  See
 ``docs/observability.md`` for the contract.
 
 Usage::
@@ -13,7 +18,8 @@ Usage::
 
 Exits 0 when every line validates (and, with ``--min-names``, when at
 least N distinct metric/span names appear); prints the offending line
-and exits 1 otherwise.  Used by ``make telemetry-smoke`` and CI.
+and exits 1 otherwise.  Used by ``make telemetry-smoke``,
+``make monitor-smoke`` and CI.
 """
 
 from __future__ import annotations
@@ -23,7 +29,48 @@ import json
 import sys
 from typing import List
 
-KINDS = {"counter", "gauge", "histogram", "timer", "span", "event"}
+KINDS = {
+    "counter", "gauge", "histogram", "timer", "span", "event",
+    "link_sample", "link_down", "link_up",
+}
+
+#: The contract's one-off event names (kind == "event").  Anything not
+#: listed here is an unknown event type and fails validation — add new
+#: names here *and* to docs/observability.md when instrumenting.
+KNOWN_EVENT_NAMES = {
+    "core.profiling.skipped_candidate",
+}
+
+
+def _numeric(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _check_link_fields(event: dict, problems: List[str]) -> None:
+    link = event.get("link")
+    if not isinstance(link, str) or not link.strip():
+        problems.append("link event missing non-empty 'link'")
+    t = event.get("t")
+    if not _numeric(t):
+        problems.append("link event missing numeric 't'")
+    elif t < 0:
+        problems.append(f"negative link event time {t}")
+
+
+def _check_link_sample(event: dict, problems: List[str]) -> None:
+    for field_name in ("utilization", "rate", "capacity"):
+        value = event.get(field_name)
+        if not _numeric(value):
+            problems.append(f"link_sample missing numeric {field_name!r}")
+        elif value < 0:
+            problems.append(f"negative {field_name!r} {value}")
+    if event.get("capacity") == 0:
+        problems.append("link_sample has zero 'capacity'")
+    active = event.get("active_flows")
+    if not isinstance(active, int) or isinstance(active, bool) or active < 0:
+        problems.append(
+            "link_sample missing non-negative integer 'active_flows'"
+        )
 
 
 def check_line(line: str, lineno: int) -> List[str]:
@@ -37,20 +84,20 @@ def check_line(line: str, lineno: int) -> List[str]:
         return ["not a JSON object"]
 
     ts = event.get("ts")
-    if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+    if not _numeric(ts):
         problems.append("missing/non-numeric 'ts'")
     name = event.get("name")
     if not isinstance(name, str) or not name.strip():
         problems.append("missing/empty 'name'")
     kind = event.get("kind")
     if kind not in KINDS:
-        problems.append(f"unknown 'kind' {kind!r} (expected one of {sorted(KINDS)})")
+        problems.append(
+            f"unknown 'kind' {kind!r} (expected one of {sorted(KINDS)})"
+        )
 
-    has_value = isinstance(event.get("value"), (int, float))
+    has_value = _numeric(event.get("value"))
     duration = event.get("duration_s")
-    has_duration = isinstance(duration, (int, float)) and not isinstance(
-        duration, bool
-    )
+    has_duration = _numeric(duration)
     if not has_value and not has_duration:
         problems.append("needs a numeric 'value' or 'duration_s'")
     if has_duration and duration < 0:
@@ -61,6 +108,17 @@ def check_line(line: str, lineno: int) -> List[str]:
             problems.append("span missing 'path'")
         if not isinstance(event.get("depth"), int):
             problems.append("span missing integer 'depth'")
+    elif kind == "event":
+        if isinstance(name, str) and name not in KNOWN_EVENT_NAMES:
+            problems.append(
+                f"unknown event type {name!r} (known: "
+                f"{sorted(KNOWN_EVENT_NAMES)}; register new one-off "
+                f"events in tools/check_telemetry.py and the docs)"
+            )
+    elif kind in ("link_sample", "link_down", "link_up"):
+        _check_link_fields(event, problems)
+        if kind == "link_sample":
+            _check_link_sample(event, problems)
     return problems
 
 

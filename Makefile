@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench figures examples lint clean telemetry-smoke monitor-smoke
+.PHONY: install test bench figures examples lint clean telemetry-smoke monitor-smoke chaos-smoke
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -31,6 +31,16 @@ monitor-smoke:
 	$(PYTHON) tools/check_telemetry.py monitor-smoke.jsonl --min-names 4
 	$(PYTHON) tools/check_telemetry.py monitor-smoke-fct.jsonl --min-names 10
 	rm -f monitor-smoke.jsonl monitor-smoke-fct.jsonl
+
+# Run a small fixed-seed chaos sweep twice: the recovery events must
+# pass the wire contract and the sweep table must be deterministic.
+chaos-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli --telemetry=chaos-smoke.jsonl chaos --k 4 --rates 0 0.3 --technologies mems --trials 2 --seed 7 > /dev/null
+	$(PYTHON) tools/check_telemetry.py chaos-smoke.jsonl --min-names 8
+	PYTHONPATH=src $(PYTHON) -m repro.cli chaos --k 4 --rates 0 0.3 --technologies mems --trials 2 --seed 7 > chaos-smoke-a.txt
+	PYTHONPATH=src $(PYTHON) -m repro.cli chaos --k 4 --rates 0 0.3 --technologies mems --trials 2 --seed 7 > chaos-smoke-b.txt
+	cmp chaos-smoke-a.txt chaos-smoke-b.txt
+	rm -f chaos-smoke.jsonl chaos-smoke-a.txt chaos-smoke-b.txt
 
 figures:
 	$(PYTHON) -m repro.cli fig5

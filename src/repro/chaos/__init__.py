@@ -1,0 +1,26 @@
+"""repro.chaos — deterministic, seedable fault injection (paper §5).
+
+The paper names self-recovery from failures as the broader role of
+convertibility; this package supplies the *adversary*: a
+:class:`~repro.chaos.engine.ChaosSchedule` of timed plant faults (legs,
+cables, switches dying and recovering) plus command-level faults (a
+converter that times out or NACKs a circuit change), all drawn from a
+seed so every chaotic run replays bit-for-bit.  The resilient execution
+path in :mod:`repro.core.reconfigure` drives a conversion through a
+schedule via a :class:`~repro.chaos.engine.ChaosClock`; see
+``docs/robustness.md`` for the retry/rollback/heal semantics.
+"""
+
+from repro.chaos.engine import (
+    ChaosClock,
+    ChaosEvent,
+    ChaosSchedule,
+    CommandFault,
+)
+
+__all__ = [
+    "ChaosClock",
+    "ChaosEvent",
+    "ChaosSchedule",
+    "CommandFault",
+]

@@ -206,6 +206,20 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(handler=_monitor_handler)
 
+    p = sub.add_parser("chaos",
+                       help="fault-injection sweep: conversion resilience "
+                            "per fault rate and technology")
+    p.add_argument("--k", type=int, default=4)
+    p.add_argument("--rates", type=float, nargs="+",
+                   default=[0.0, 0.05, 0.1, 0.2])
+    p.add_argument("--technologies", nargs="+",
+                   choices=("mems", "mzi", "packet"),
+                   default=["mems", "mzi", "packet"])
+    p.add_argument("--trials", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--max-batch", type=int, default=16)
+    p.set_defaults(handler=_chaos_handler)
+
     p = sub.add_parser("downscale",
                        help="sleep core switches under a throughput floor")
     p.add_argument("--k", type=int, required=True)
@@ -396,6 +410,27 @@ def _degradation_handler(args) -> int:
         seed=args.seed,
     )
     print(f"== {result.experiment} ==")
+    print(result.table())
+    return 0
+
+
+def _chaos_handler(args) -> int:
+    from repro.experiments.chaos_sweep import run_chaos_sweep
+
+    result = run_chaos_sweep(
+        k=args.k,
+        rates=tuple(args.rates),
+        technologies=tuple(
+            _technology_by_name(name) for name in args.technologies
+        ),
+        trials=args.trials,
+        seed=args.seed,
+        max_batch=args.max_batch,
+    )
+    print(
+        f"== chaos sweep: conversion resilience, k={result.k}, "
+        f"{result.trials} trials/point, seed {result.seed} =="
+    )
     print(result.table())
     return 0
 

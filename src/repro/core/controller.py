@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro import obs
-from repro.errors import RoutingError
+from repro.errors import ReproError, RoutingError
 from repro.core.conversion import Mode, hybrid_configs, mode_configs
 from repro.core.converter import ConverterConfig, ConverterId
 from repro.core.flattree import FlatTree
@@ -77,16 +77,38 @@ class Controller:
         self._network: Optional[Network] = None
         self._route_cache: Dict[Tuple[SwitchId, SwitchId], List[Path]] = {}
         self.history: List[ReconfigurationPlan] = []
+        # Degradation state set by the resilient execution path: active
+        # plant failures and whether the last conversion was rolled back
+        # mid-way (layout no longer describes the whole plant).
+        self._failures = None
+        self._partial = False
 
     # ------------------------------------------------------------------
     # conversion
     # ------------------------------------------------------------------
     @property
     def network(self) -> Network:
-        """The currently materialized logical network (cached)."""
+        """The currently materialized logical network (cached).
+
+        While plant failures are active (after a chaotic execution),
+        this is the *degraded* materialization — dead circuits absent,
+        stranded servers detached.
+        """
         if self._network is None:
-            self._network = self.flattree.materialize()
+            if self._failures is not None:
+                from repro.core.failures import materialize_with_failures
+
+                self._network = materialize_with_failures(
+                    self.flattree, self._failures
+                )
+            else:
+                self._network = self.flattree.materialize()
         return self._network
+
+    @property
+    def degraded(self) -> bool:
+        """True when failures are active or a conversion was aborted."""
+        return self._failures is not None or self._partial
 
     def apply_mode(self, mode: Mode) -> ReconfigurationPlan:
         """Convert the whole network to one mode."""
@@ -146,6 +168,66 @@ class Controller:
             stages=stages,
         )
 
+    def execute_mode(self, mode: Mode, **kwargs):
+        """:meth:`execute_layout` for a whole-network mode."""
+        return self.execute_layout(
+            uniform_layout(self.flattree.params, mode), **kwargs
+        )
+
+    def execute_layout(
+        self,
+        layout: ZoneLayout,
+        *,
+        technology=None,
+        chaos=None,
+        policy=None,
+        monitor=None,
+        max_batch: int = 64,
+        start: float = 0.0,
+    ):
+        """Convert to ``layout`` through the resilient execution path.
+
+        Unlike :meth:`apply_layout` (which commits the target
+        configuration atomically), this drives the conversion batch by
+        batch via :func:`repro.core.reconfigure.execute`, surviving the
+        faults a :class:`~repro.chaos.ChaosSchedule` injects: failed
+        converter commands are retried with backoff, exhausted batches
+        roll back, and active plant faults trigger self-healing.  The
+        controller then serves the network execution actually produced
+        — degraded and/or partially converted — and routing falls back
+        to k-shortest-paths over surviving links whenever the
+        mode-native strategy cannot apply (see :meth:`routes`).
+        Returns the :class:`~repro.core.reconfigure.ExecutionReport`.
+        """
+        from repro.core.reconfigure import MEMS_OPTICAL, execute
+
+        modes = sorted({m.value for m in layout.pod_modes().values()})
+        with obs.span("execute_layout", modes=",".join(modes)):
+            target = hybrid_configs(self.flattree, layout.pod_modes())
+            plan = self._plan(target)
+            report = execute(
+                self.flattree,
+                plan,
+                self.network,
+                technology=technology or MEMS_OPTICAL,
+                max_batch=max_batch,
+                start=start,
+                chaos=chaos,
+                policy=policy,
+                monitor=monitor,
+            )
+            self.layout = layout
+            self._partial = not report.success
+            self._failures = (
+                None if report.failures.is_empty() else report.failures
+            )
+            self._network = report.network
+            self._route_cache.clear()
+            self.history.append(plan)
+            if monitor is not None:
+                monitor.rebind(report.network)
+            return report
+
     # ------------------------------------------------------------------
     # failure self-recovery (paper §5)
     # ------------------------------------------------------------------
@@ -183,19 +265,32 @@ class Controller:
 
         Pure Clos uses the deterministic two-level route; any converted
         network uses k-shortest-paths (Jellyfish-style), cached per
-        switch pair.
+        switch pair.  On a degraded or partially-converted network the
+        native strategy's precomputed tables may reference dead
+        elements, so the controller validates the native path against
+        the live network and falls back to k-shortest-paths over the
+        surviving links when it cannot apply.
         """
         net = self.network
         src_sw = net.server_switch(src_server)
         dst_sw = net.server_switch(dst_server)
         if src_sw == dst_sw:
             return [Path((src_sw,))]
-        if self._is_pure_clos():
+        if self._is_pure_clos() and not self.degraded:
             return [
                 two_level_route(
                     self.flattree.params, net, src_server, dst_server
                 )
             ]
+        if self._is_pure_clos():
+            try:
+                path = two_level_route(
+                    self.flattree.params, net, src_server, dst_server
+                )
+                path.validate_on(net)
+                return [path]
+            except (ReproError, KeyError):
+                obs.incr("core.controller.native_route_fallbacks")
         key = (src_sw, dst_sw)
         if key not in self._route_cache:
             obs.incr("core.controller.route_cache_misses")

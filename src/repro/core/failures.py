@@ -26,6 +26,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.core.converter import (
     Converter,
@@ -81,6 +82,50 @@ class FailureSet:
 
     def is_empty(self) -> bool:
         return not (self.converter_legs or self.cables or self.switches)
+
+    def validate(self, ft: "FlatTree") -> None:
+        """Raise :class:`ConfigurationError` naming any id unknown to ``ft``.
+
+        A failure set referencing a converter or switch the plant does
+        not contain would silently degrade *nothing* — every leg/cable
+        lookup simply misses — so the entry points that consume failure
+        sets (:func:`materialize_with_failures`, :func:`heal`) validate
+        first and fail loudly instead.
+        """
+        for cid in sorted(self.converter_legs):
+            if cid not in ft.converters:
+                raise ConfigurationError(
+                    f"failure set names unknown converter {cid}"
+                )
+        known = _plant_switches(ft)
+        for switch in sorted(self.switches, key=repr):
+            if switch not in known:
+                raise ConfigurationError(
+                    f"failure set names unknown switch {switch!r}"
+                )
+        for cable in sorted(self.cables, key=repr):
+            for switch in sorted(cable, key=repr):
+                if switch not in known:
+                    raise ConfigurationError(
+                        f"failure set names unknown switch {switch!r} "
+                        f"in dead cable {tuple(sorted(cable, key=repr))}"
+                    )
+
+
+def _plant_switches(ft: FlatTree) -> Set[SwitchId]:
+    """Every switch id the plant contains, for failure-set validation."""
+    from repro.topology.elements import AggSwitch, CoreSwitch, EdgeSwitch
+
+    params = ft.design.params
+    known: Set[SwitchId] = {
+        CoreSwitch(c) for c in range(params.num_cores)
+    }
+    for pod in range(params.pods):
+        for j in range(params.d):
+            known.add(EdgeSwitch(pod, j))
+        for a in range(params.aggs_per_pod):
+            known.add(AggSwitch(pod, a))
+    return known
 
 
 #: Legs used by each circuit of each configuration.  Side circuits use
@@ -169,6 +214,7 @@ def materialize_with_failures(
     """
     from repro.topology.elements import AggSwitch, CoreSwitch, EdgeSwitch
 
+    failures.validate(ft)
     params = ft.design.params
     net = Network(name or "flat-tree[degraded]")
     for c in range(params.num_cores):
@@ -237,6 +283,7 @@ def heal(
     switch-level circuits, then staying on the current config (avoid
     gratuitous churn).  Side pairs are decided jointly.
     """
+    failures.validate(ft)
     assignment = ft.configs()
     decided: Set[ConverterId] = set()
 
@@ -312,3 +359,56 @@ def _best_pair_config(
         return (servers_alive, cables, stay)
 
     return max(options, key=score)
+
+
+@dataclass(frozen=True)
+class HealOutcome:
+    """What :func:`heal_report` decided and what it could not save.
+
+    ``assignment`` is the full post-heal configuration map;
+    ``reconfigured`` the converters whose config actually changed;
+    ``unrecoverable`` the converters whose server stays detached under
+    *every* reachable configuration (e.g. a dead SERVER leg) — these
+    must be reported, never asserted on.
+    """
+
+    assignment: Dict[ConverterId, ConverterConfig]
+    reconfigured: Tuple[ConverterId, ...]
+    unrecoverable: Tuple[ConverterId, ...]
+
+
+def heal_report(
+    ft: FlatTree, failures: FailureSet, t: float = 0.0
+) -> HealOutcome:
+    """Run :func:`heal` and account for what it achieved.
+
+    Emits one ``core.failures.heal`` telemetry event with the counts,
+    stamped at simulated time ``t`` (callers in the chaotic execution
+    path pass the conversion clock).
+    """
+    assignment = heal(ft, failures)
+    current = ft.configs()
+    reconfigured = tuple(
+        cid for cid in sorted(assignment)
+        if assignment[cid] is not current[cid]
+    )
+    unrecoverable: List[ConverterId] = []
+    for cid in sorted(ft.converters):
+        conv = ft.converters[cid]
+        if not _affected(conv, failures):
+            continue
+        links = surviving_own_links(conv, assignment[cid], failures)
+        if not any(link[0] == "attach" for link in links):
+            unrecoverable.append(cid)
+    obs.event(
+        "core.failures.heal",
+        reconfigured=len(reconfigured),
+        unrecoverable=len(unrecoverable),
+        t=t,
+    )
+    obs.incr("core.failures.heals")
+    return HealOutcome(
+        assignment=assignment,
+        reconfigured=reconfigured,
+        unrecoverable=tuple(unrecoverable),
+    )

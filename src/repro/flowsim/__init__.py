@@ -8,18 +8,22 @@ from repro.flowsim.fairshare import (
 )
 from repro.flowsim.simulator import (
     CompletedFlow,
+    FailedFlow,
     FlowSimulator,
     FlowSpec,
     SimulationResult,
+    TopologyEvent,
 )
 
 __all__ = [
     "CompletedFlow",
+    "FailedFlow",
     "FairShareResult",
     "FlowSimulator",
     "FlowSpec",
     "RoutedFlow",
     "SimulationResult",
+    "TopologyEvent",
     "link_allocation",
     "max_min_fair_rates",
 ]

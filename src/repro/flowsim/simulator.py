@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.errors import ReproError
@@ -62,10 +62,27 @@ class CompletedFlow:
 
 
 @dataclass
+class FailedFlow:
+    """A flow the simulation could not finish after a topology event.
+
+    Its path crossed a link that died mid-run and the router found no
+    surviving replacement — the flowsim analogue of a connection reset.
+    """
+
+    spec: FlowSpec
+    start: float
+    failed_at: float
+    remaining: float
+    reason: str = ""
+
+
+@dataclass
 class SimulationResult:
     """All completions plus derived statistics."""
 
     completed: List[CompletedFlow] = field(default_factory=list)
+    failed: List[FailedFlow] = field(default_factory=list)
+    rerouted: int = 0
 
     @property
     def mean_fct(self) -> float:
@@ -92,6 +109,32 @@ class SimulationResult:
 Router = Callable[[int, int, int], Path]
 
 
+@dataclass(frozen=True)
+class TopologyEvent:
+    """A mid-run topology change the simulator must absorb at ``t``.
+
+    ``net`` replaces the simulator's network (e.g. the degraded
+    materialization after a failure, or the post-conversion network);
+    ``router`` optionally replaces the routing function — when omitted
+    the existing router keeps serving, which is only safe if it routes
+    over the new network (e.g. a controller whose ``network`` property
+    already reflects the change).
+    """
+
+    t: float
+    net: Network
+    router: Optional[Router] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.t < 0:
+            raise ReproError(f"topology event before t=0 ({self.t})")
+
+
+def _path_alive(path: Path, net: Network) -> bool:
+    return all(net.capacity(u, v) > 0 for u, v in path.edges())
+
+
 class FlowSimulator:
     """Discrete-event fluid simulation over a fixed topology.
 
@@ -108,14 +151,23 @@ class FlowSimulator:
         self.monitor = monitor
 
     def run(
-        self, flows: List[FlowSpec], max_events: Optional[int] = None
+        self,
+        flows: List[FlowSpec],
+        max_events: Optional[int] = None,
+        events: Sequence[TopologyEvent] = (),
     ) -> SimulationResult:
-        """Simulate until every flow completes.
+        """Simulate until every flow completes or fails.
 
         Rates are recomputed at each arrival/completion.  Flows between
         servers on one switch complete at infinite rate (the fabric is
         not involved), consistent with the relaxed-server-bandwidth
         model; their FCT is 0.
+
+        ``events`` injects mid-run :class:`TopologyEvent` changes: at
+        each event the network (and optionally the router) is swapped,
+        and every active flow whose path crosses a now-dead link is
+        re-routed over the surviving topology — or, when the router
+        finds no path, recorded in :attr:`SimulationResult.failed`.
         """
         if not flows:
             raise ReproError("nothing to simulate")
@@ -125,20 +177,24 @@ class FlowSimulator:
 
         arrivals = sorted(flows, key=lambda f: (f.arrival, f.flow_id))
         pending = list(arrivals)
+        topo = sorted(events, key=lambda e: e.t)
         active: Dict[int, FlowSpec] = {}
         remaining: Dict[int, float] = {}
         paths: Dict[int, Path] = {}
         result = SimulationResult()
-        budget = max_events if max_events is not None else 10 * len(flows) + 100
+        budget = max_events if max_events is not None else (
+            10 * len(flows) + 10 * len(topo) + 100
+        )
 
         with obs.span("flowsim.run", flows=len(flows), net=self.net.name), \
                 obs.timer("flowsim.run_s"):
             self._event_loop(pending, active, remaining, paths, result,
-                             budget)
+                             budget, topo)
         return result
 
     def _event_loop(self, pending, active, remaining, paths, result,
-                    budget) -> None:
+                    budget, topo=None) -> None:
+        topo = list(topo or [])
         now = 0.0
         events = 0
         recomputes = 0
@@ -148,6 +204,11 @@ class FlowSimulator:
                 raise ReproError(
                     f"simulation exceeded {budget} events (livelock?)"
                 )
+            # Apply due topology changes first: router swaps must
+            # precede this instant's admissions and rate recomputation.
+            while topo and topo[0].t <= now + 1e-12:
+                self._apply_topology(topo.pop(0), now, active, remaining,
+                                     paths, result)
             # Admit all arrivals at or before `now`.
             while pending and pending[0].arrival <= now + 1e-12:
                 spec = pending.pop(0)
@@ -157,7 +218,11 @@ class FlowSimulator:
                 remaining[spec.flow_id] = spec.size
                 paths[spec.flow_id] = path
             if not active:
+                if not pending:
+                    break  # a topology event failed the last flows
                 now = pending[0].arrival
+                if topo and topo[0].t < now:
+                    now = topo[0].t
                 continue
 
             rates = max_min_fair_rates(
@@ -179,7 +244,8 @@ class FlowSimulator:
                 next_completion = min(next_completion,
                                       remaining[fid] / rate)
             next_arrival = pending[0].arrival - now if pending else math.inf
-            step = min(next_completion, next_arrival)
+            next_topo = topo[0].t - now if topo else math.inf
+            step = min(next_completion, next_arrival, max(next_topo, 0.0))
 
             finished: List[int] = []
             for fid in list(active):
@@ -206,3 +272,45 @@ class FlowSimulator:
         obs.incr("flowsim.events", events)
         obs.incr("flowsim.fairshare_recomputes", recomputes)
         obs.incr("flowsim.flows_completed", len(result.completed))
+        if result.failed:
+            obs.incr("flowsim.flows_failed", len(result.failed))
+
+    def _apply_topology(self, event: TopologyEvent, now, active, remaining,
+                        paths, result) -> None:
+        """Swap in a new network, salvaging active flows.
+
+        Flows whose path lost a link are re-routed through the (new)
+        router; flows the router cannot place are dropped into
+        ``result.failed`` with their unfinished byte count.
+        """
+        self.net = event.net
+        if event.router is not None:
+            self.router = event.router
+        if self.monitor is not None:
+            self.monitor.rebind(event.net)
+        obs.incr("flowsim.topology_events")
+        for fid in sorted(active):
+            if _path_alive(paths[fid], self.net):
+                continue
+            spec = active[fid]
+            try:
+                path = self.router(spec.src_server, spec.dst_server, fid)
+                path.validate_on(self.net)
+            except (ReproError, KeyError) as exc:
+                active.pop(fid)
+                result.failed.append(FailedFlow(
+                    spec=spec,
+                    start=spec.arrival,
+                    failed_at=now,
+                    remaining=remaining.pop(fid),
+                    reason=str(exc) or "no surviving path",
+                ))
+                del paths[fid]
+                obs.event("flowsim.flow_rerouted", flow_id=fid,
+                          outcome="failed", t=now)
+                continue
+            paths[fid] = path
+            result.rerouted += 1
+            obs.incr("flowsim.flows_rerouted")
+            obs.event("flowsim.flow_rerouted", flow_id=fid,
+                      outcome="rerouted", t=now)

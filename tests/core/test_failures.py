@@ -151,3 +151,114 @@ class TestControllerRecover:
         degraded = materialize_with_failures(controller.flattree, failures)
         assert is_connected(degraded)
         assert degraded.num_servers == controller.flattree.params.num_servers
+
+
+class TestFailureSetValidation:
+    """Unknown ids must fail loudly, naming the offender."""
+
+    def test_unknown_converter_rejected(self, ft):
+        from repro.core.converter import ConverterId
+        from repro.errors import ConfigurationError
+
+        ghost = ConverterId(pod=99, blade="A", row=0, edge=0)
+        failures = FailureSet.of_legs((ghost, Leg.CORE))
+        with pytest.raises(ConfigurationError, match="unknown converter"):
+            materialize_with_failures(ft, failures)
+        with pytest.raises(ConfigurationError, match="99"):
+            heal(ft, failures)
+
+    def test_unknown_switch_rejected(self, ft):
+        from repro.errors import ConfigurationError
+
+        failures = FailureSet(
+            switches=frozenset({CoreSwitch(10_000)})
+        )
+        with pytest.raises(ConfigurationError, match="unknown switch"):
+            failures.validate(ft)
+
+    def test_unknown_cable_endpoint_rejected(self, ft):
+        from repro.errors import ConfigurationError
+
+        failures = FailureSet(cables=frozenset({
+            frozenset((CoreSwitch(0), CoreSwitch(10_000)))
+        }))
+        with pytest.raises(ConfigurationError, match="dead cable"):
+            materialize_with_failures(ft, failures)
+
+    def test_known_ids_pass(self, ft):
+        cid = first_converter(ft)
+        failures = FailureSet.of_legs((cid, Leg.CORE))
+        failures.validate(ft)  # must not raise
+
+
+class TestHealSideBundle:
+    """Joint pairing decisions under SIDE-leg loss (satellite #3)."""
+
+    def _paired(self, ft):
+        from repro.core.conversion import mode_configs
+
+        ft.set_configs(mode_configs(ft, Mode.GLOBAL_RANDOM))
+        return ft.pairs[0]
+
+    def test_both_peers_lose_side_leg(self, ft):
+        from repro.core.converter import PAIRED_CONFIGS
+
+        left, right = self._paired(ft)
+        failures = FailureSet.of_legs((left, Leg.SIDE), (right, Leg.SIDE))
+        assignment = heal(ft, failures)
+        assert assignment[left] not in PAIRED_CONFIGS
+        assert assignment[right] not in PAIRED_CONFIGS
+        ft.set_configs(assignment)
+        degraded = materialize_with_failures(ft, failures)
+        servers = set(degraded.servers())
+        assert ft.converters[left].server in servers
+        assert ft.converters[right].server in servers
+
+    def test_one_peer_loses_side_leg(self, ft):
+        """One dead SIDE leg kills the bundle for both ends jointly."""
+        from repro.core.converter import PAIRED_CONFIGS
+
+        left, right = self._paired(ft)
+        failures = FailureSet.of_legs((right, Leg.SIDE))
+        assignment = heal(ft, failures)
+        # The pair must move together: half a pair is illegal.
+        assert assignment[left] not in PAIRED_CONFIGS
+        assert assignment[right] not in PAIRED_CONFIGS
+        ft.set_configs(assignment)
+
+    def test_unrecoverable_server_reported_not_asserted(self, ft):
+        """A dead SERVER leg strands the server in every config."""
+        from repro.core.failures import heal_report
+
+        left, right = self._paired(ft)
+        failures = FailureSet.of_legs(
+            (left, Leg.SERVER), (left, Leg.SIDE), (right, Leg.SIDE)
+        )
+        outcome = heal_report(ft, failures)
+        assert left in outcome.unrecoverable
+        assert right not in outcome.unrecoverable
+        ft.set_configs(outcome.assignment)
+        degraded = materialize_with_failures(ft, failures)
+        assert ft.converters[left].server not in set(degraded.servers())
+        assert is_connected(degraded)
+
+    def test_heal_report_counts_and_event(self, ft):
+        from repro import obs
+        from repro.core.failures import heal_report
+        from repro.obs.sinks import MemorySink
+
+        left, _right = self._paired(ft)
+        failures = FailureSet.of_legs((left, Leg.SIDE))
+        sink = MemorySink()
+        obs.enable(sink)
+        try:
+            outcome = heal_report(ft, failures, t=2.5)
+        finally:
+            obs.disable()
+        events = sink.events
+        assert len(outcome.reconfigured) >= 2
+        assert outcome.unrecoverable == ()
+        heals = [e for e in events if e.get("name") == "core.failures.heal"]
+        assert len(heals) == 1
+        assert heals[0]["t"] == 2.5
+        assert heals[0]["reconfigured"] == len(outcome.reconfigured)

@@ -193,3 +193,84 @@ class TestDisruption:
                 flows.append((fid, Path((nbr, core))))
                 fid += 1
         assert disruption(plan, flows) > 0.5
+
+
+class TestAuditEdgeCases:
+    """Satellite: empty plans / zero blink must not ledger anything."""
+
+    def test_empty_plan_empty_ledger(self):
+        from repro.monitor import NetworkMonitor
+        from repro.topology.elements import Network, PlainSwitch
+
+        net = Network("tiny")
+        net.add_switch(PlainSwitch(0), 4)
+        monitor = NetworkMonitor(net)
+        sched = Schedule(technology=MEMS_OPTICAL)
+        finish = audit(sched, monitor, start=4.0)
+        assert finish == 4.0
+        assert monitor.downtime() == {}
+        assert monitor.open_dark_links() == []
+
+    def test_zero_blink_window_empty_ledger(self, converted):
+        """A zero-delay technology must not record [t, t] windows."""
+        from repro.monitor import NetworkMonitor
+
+        _controller, before, plan = converted
+        instant = Technology("instant", switch_delay=0.0,
+                             control_overhead=5e-3)
+        sched = schedule(plan, before, technology=instant)
+        assert sched.blink_window == 0.0
+        monitor = NetworkMonitor(before)
+        finish = audit(sched, monitor, start=0.0)
+        assert finish == pytest.approx(sched.total_time)
+        assert monitor.downtime() == {}
+        assert monitor.total_dark_time() == 0.0
+
+
+class TestPairAtomicBatches:
+    def test_pairs_never_split_across_batches(self, converted):
+        controller, before, plan = converted
+        pairs = controller.flattree.pairs
+        sched = schedule(plan, before, max_batch=2, pairs=pairs)
+        position = {}
+        for index, batch in enumerate(sched.batches):
+            for cid in batch:
+                position[cid] = index
+        in_plan = set(plan.config_changes)
+        split = [
+            (left, right) for left, right in pairs
+            if left in in_plan and right in in_plan
+            and position[left] != position[right]
+        ]
+        assert split == []
+        scheduled = [cid for batch in sched.batches for cid in batch]
+        assert sorted(scheduled) == sorted(plan.config_changes)
+
+    def test_no_pairs_identical_to_historical(self, converted):
+        _controller, before, plan = converted
+        with_none = schedule(plan, before, max_batch=16)
+        explicit = schedule(plan, before, max_batch=16, pairs=())
+        assert with_none.batches == explicit.batches
+        assert with_none.dark_links == explicit.dark_links
+
+
+class TestRetryPolicy:
+    def test_backoff_caps(self):
+        from repro.core.reconfigure import RetryPolicy
+
+        policy = RetryPolicy(base_backoff=1e-3, backoff_factor=2.0,
+                             max_backoff=3e-3)
+        assert policy.backoff(1) == pytest.approx(1e-3)
+        assert policy.backoff(2) == pytest.approx(2e-3)
+        assert policy.backoff(3) == pytest.approx(3e-3)  # capped
+        assert policy.backoff(10) == pytest.approx(3e-3)
+
+    def test_invalid_policies_rejected(self):
+        from repro.core.reconfigure import RetryPolicy
+
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(batch_timeout=0.0)

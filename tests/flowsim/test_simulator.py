@@ -197,3 +197,131 @@ class TestValidation:
         sim = FlowSimulator(line_net, line_router(line_net))
         with pytest.raises(ReproError):
             sim.run([])
+
+
+@pytest.fixture()
+def diamond_net():
+    """sw0 -> {sw1, sw2} -> sw3; servers 0 @ sw0, 1 @ sw3."""
+    net = Network("diamond")
+    nodes = [PlainSwitch(i) for i in range(4)]
+    for node in nodes:
+        net.add_switch(node, 8)
+    net.add_cable(nodes[0], nodes[1])
+    net.add_cable(nodes[1], nodes[3])
+    net.add_cable(nodes[0], nodes[2])
+    net.add_cable(nodes[2], nodes[3])
+    net.add_server(0, nodes[0])
+    net.add_server(1, nodes[3])
+    return net
+
+
+def _via(middle):
+    def router(_src, _dst, _fid):
+        return Path((PlainSwitch(0), PlainSwitch(middle), PlainSwitch(3)))
+
+    return router
+
+
+class TestTopologyEvents:
+    def test_flow_rerouted_over_surviving_path(self, diamond_net):
+        from repro.flowsim.simulator import TopologyEvent
+
+        degraded = diamond_net.copy()
+        degraded.remove_cable(PlainSwitch(1), PlainSwitch(3))
+        sim = FlowSimulator(diamond_net, _via(1))
+        result = sim.run(
+            [FlowSpec(1, 0, 1, size=2.0)],
+            events=[TopologyEvent(t=1.0, net=degraded, router=_via(2))],
+        )
+        assert result.rerouted == 1
+        assert result.failed == []
+        # Half done at t=1, other half at unit rate on the new path.
+        assert result.completed[0].duration == pytest.approx(2.0)
+        assert result.completed[0].path.edges()[0] == (
+            PlainSwitch(0), PlainSwitch(2)
+        )
+
+    def test_flow_failed_when_no_surviving_path(self, diamond_net):
+        from repro.flowsim.simulator import TopologyEvent
+
+        stranded = diamond_net.copy()
+        stranded.remove_cable(PlainSwitch(1), PlainSwitch(3))
+        stranded.remove_cable(PlainSwitch(2), PlainSwitch(3))
+
+        def dead_router(_src, _dst, fid):
+            raise ReproError(f"no route for flow {fid}")
+
+        sim = FlowSimulator(diamond_net, _via(1))
+        result = sim.run(
+            [FlowSpec(1, 0, 1, size=2.0)],
+            events=[TopologyEvent(t=0.5, net=stranded,
+                                  router=dead_router)],
+        )
+        assert result.completed == []
+        assert len(result.failed) == 1
+        failed = result.failed[0]
+        assert failed.failed_at == pytest.approx(0.5)
+        assert failed.remaining == pytest.approx(1.5)
+        assert "no route" in failed.reason
+
+    def test_unaffected_flows_keep_their_path(self, diamond_net):
+        from repro.flowsim.simulator import TopologyEvent
+
+        degraded = diamond_net.copy()
+        degraded.remove_cable(PlainSwitch(2), PlainSwitch(3))
+        sim = FlowSimulator(diamond_net, _via(1))
+        result = sim.run(
+            [FlowSpec(1, 0, 1, size=2.0)],
+            events=[TopologyEvent(t=1.0, net=degraded)],
+        )
+        assert result.rerouted == 0
+        assert result.completed[0].duration == pytest.approx(2.0)
+
+    def test_arrivals_after_event_use_new_router(self, diamond_net):
+        from repro.flowsim.simulator import TopologyEvent
+
+        degraded = diamond_net.copy()
+        degraded.remove_cable(PlainSwitch(1), PlainSwitch(3))
+        sim = FlowSimulator(diamond_net, _via(1))
+        result = sim.run(
+            [
+                FlowSpec(1, 0, 1, size=0.5),
+                FlowSpec(2, 0, 1, size=1.0, arrival=2.0),
+            ],
+            events=[TopologyEvent(t=1.0, net=degraded, router=_via(2))],
+        )
+        late = [c for c in result.completed if c.spec.flow_id == 2][0]
+        assert late.path.edges()[0] == (PlainSwitch(0), PlainSwitch(2))
+
+    def test_reroute_events_validate(self, diamond_net):
+        import json
+
+        from repro import obs
+        from repro.flowsim.simulator import TopologyEvent
+        from repro.obs.sinks import MemorySink
+        from tools.check_telemetry import check_line
+
+        degraded = diamond_net.copy()
+        degraded.remove_cable(PlainSwitch(1), PlainSwitch(3))
+        sim = FlowSimulator(diamond_net, _via(1))
+        sink = MemorySink()
+        obs.enable(sink)
+        try:
+            sim.run(
+                [FlowSpec(1, 0, 1, size=2.0)],
+                events=[TopologyEvent(t=1.0, net=degraded,
+                                      router=_via(2))],
+            )
+        finally:
+            obs.disable()
+        rerouted = [e for e in sink.events
+                    if e.get("name") == "flowsim.flow_rerouted"]
+        assert len(rerouted) == 1
+        assert rerouted[0]["outcome"] == "rerouted"
+        assert check_line(json.dumps(rerouted[0]), 1) == []
+
+    def test_negative_event_time_rejected(self, diamond_net):
+        from repro.flowsim.simulator import TopologyEvent
+
+        with pytest.raises(ReproError):
+            TopologyEvent(t=-1.0, net=diamond_net)

@@ -288,3 +288,37 @@ class TestTelemetry:
         assert "link_sample" in kinds
         for lineno, line in enumerate(lines, start=1):
             assert check_line(line, lineno) == [], line
+
+
+class TestChaosCommand:
+    def test_chaos_prints_table(self, capsys):
+        code, out = run_cli(
+            capsys, "chaos", "--k", "4", "--rates", "0", "0.3",
+            "--technologies", "mems", "--trials", "2", "--seed", "7",
+        )
+        assert code == 0
+        assert "chaos sweep" in out
+        assert "MEMS optical" in out
+        assert "success" in out and "rolled_back" in out
+
+    def test_chaos_output_deterministic(self, capsys):
+        argv = ("chaos", "--k", "4", "--rates", "0.3",
+                "--technologies", "mzi", "--trials", "2", "--seed", "3")
+        _code, first = run_cli(capsys, *argv)
+        _code, second = run_cli(capsys, *argv)
+        assert first == second
+
+    def test_chaos_telemetry_validates(self, capsys, tmp_path):
+        from tools.check_telemetry import check_line
+
+        path = tmp_path / "chaos.jsonl"
+        code, _out = run_cli(
+            capsys, f"--telemetry={path}", "chaos", "--k", "4",
+            "--rates", "0.3", "--technologies", "mems",
+            "--trials", "2", "--seed", "7",
+        )
+        assert code == 0
+        lines = path.read_text().strip().splitlines()
+        assert lines
+        for lineno, line in enumerate(lines, start=1):
+            assert check_line(line, lineno) == [], line

@@ -39,11 +39,78 @@ KINDS = {
 #: names here *and* to docs/observability.md when instrumenting.
 KNOWN_EVENT_NAMES = {
     "core.profiling.skipped_candidate",
+    "core.reconfigure.converter_retry",
+    "core.reconfigure.batch_rollback",
+    "core.failures.heal",
+    "flowsim.flow_rerouted",
 }
 
 
 def _numeric(value) -> bool:
     return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _check_event_time(event: dict, problems: List[str], label: str) -> None:
+    t = event.get("t")
+    if not _numeric(t):
+        problems.append(f"{label} missing numeric 't'")
+    elif t < 0:
+        problems.append(f"negative {label} time {t}")
+
+
+def _check_counted(event: dict, problems: List[str], label: str,
+                   field_name: str, minimum: int = 0) -> None:
+    value = event.get(field_name)
+    if not isinstance(value, int) or isinstance(value, bool):
+        problems.append(f"{label} missing integer {field_name!r}")
+    elif value < minimum:
+        problems.append(f"{label} {field_name!r} below {minimum}: {value}")
+
+
+def _check_converter_retry(event: dict, problems: List[str]) -> None:
+    converter = event.get("converter")
+    if not isinstance(converter, str) or not converter.strip():
+        problems.append("converter_retry missing non-empty 'converter'")
+    _check_counted(event, problems, "converter_retry", "attempt", minimum=1)
+    _check_counted(event, problems, "converter_retry", "batch")
+    if event.get("fault") not in ("timeout", "nack"):
+        problems.append(
+            "converter_retry 'fault' must be 'timeout' or 'nack'"
+        )
+    _check_event_time(event, problems, "converter_retry")
+
+
+def _check_batch_rollback(event: dict, problems: List[str]) -> None:
+    _check_counted(event, problems, "batch_rollback", "batch")
+    _check_counted(event, problems, "batch_rollback", "converters", minimum=1)
+    reason = event.get("reason")
+    if not isinstance(reason, str) or not reason.strip():
+        problems.append("batch_rollback missing non-empty 'reason'")
+    _check_event_time(event, problems, "batch_rollback")
+
+
+def _check_heal(event: dict, problems: List[str]) -> None:
+    _check_counted(event, problems, "heal", "reconfigured")
+    _check_counted(event, problems, "heal", "unrecoverable")
+    _check_event_time(event, problems, "heal")
+
+
+def _check_flow_rerouted(event: dict, problems: List[str]) -> None:
+    _check_counted(event, problems, "flow_rerouted", "flow_id")
+    if event.get("outcome") not in ("rerouted", "failed"):
+        problems.append(
+            "flow_rerouted 'outcome' must be 'rerouted' or 'failed'"
+        )
+    _check_event_time(event, problems, "flow_rerouted")
+
+
+#: Per-name schema checks for registered one-off events.
+EVENT_CHECKS = {
+    "core.reconfigure.converter_retry": _check_converter_retry,
+    "core.reconfigure.batch_rollback": _check_batch_rollback,
+    "core.failures.heal": _check_heal,
+    "flowsim.flow_rerouted": _check_flow_rerouted,
+}
 
 
 def _check_link_fields(event: dict, problems: List[str]) -> None:
@@ -115,6 +182,9 @@ def check_line(line: str, lineno: int) -> List[str]:
                 f"{sorted(KNOWN_EVENT_NAMES)}; register new one-off "
                 f"events in tools/check_telemetry.py and the docs)"
             )
+        check = EVENT_CHECKS.get(name) if isinstance(name, str) else None
+        if check is not None:
+            check(event, problems)
     elif kind in ("link_sample", "link_down", "link_up"):
         _check_link_fields(event, problems)
         if kind == "link_sample":

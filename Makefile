@@ -16,6 +16,18 @@ test-fast:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
+# Static analysis: the domain-aware flatlint pass (FT001-FT004, see
+# docs/static-analysis.md) plus the mypy typing gate configured in
+# pyproject.toml.  mypy is skipped with a notice when not installed
+# (it is in the `dev` extra); flatlint always runs.
+lint:
+	$(PYTHON) -m tools.flatlint src tests
+	@if $(PYTHON) -c "import mypy" >/dev/null 2>&1; then \
+		$(PYTHON) -m mypy src/repro; \
+	else \
+		echo "lint: mypy not installed - skipping the typing gate (pip install -e .[dev])"; \
+	fi
+
 # Run one small experiment with telemetry enabled and validate the JSONL
 # stream against the wire contract in docs/observability.md.
 telemetry-smoke:

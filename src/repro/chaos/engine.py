@@ -28,7 +28,7 @@ import enum
 import random
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Set, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.errors import ConfigurationError
 from repro.core.converter import ConverterId
@@ -273,7 +273,8 @@ class ChaosSchedule:
         rng = random.Random(seed)
         events: List[ChaosEvent] = []
 
-        def maybe_recover(t: float, make) -> None:
+        def maybe_recover(t: float,
+                          make: Callable[[float], ChaosEvent]) -> None:
             if rng.random() < recovery_fraction:
                 events.append(make(rng.uniform(t, duration)))
 

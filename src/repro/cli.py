@@ -305,6 +305,15 @@ def _info_handler(args) -> int:
         f"retention {DEFAULT_RETENTION} samples/link "
         f"(flattree monitor --help)"
     )
+    try:
+        from tools.flatlint import capability_line
+    except ImportError:
+        # Installed outside a repo checkout: the lint tooling is not
+        # on the path, but the library works fine without it.
+        print("lint: flatlint unavailable (run from a repo checkout; "
+              "see docs/static-analysis.md)")
+    else:
+        print(f"lint: {capability_line()}")
     return 0
 
 

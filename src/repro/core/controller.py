@@ -338,7 +338,11 @@ def _link_diff(
     b, a = multiset(before), multiset(after)
     removed: List[Tuple[SwitchId, SwitchId]] = []
     added: List[Tuple[SwitchId, SwitchId]] = []
-    for key in set(b) | set(a):
+    # Sorted so the cable diff (and any batch schedule built from it)
+    # is independent of PYTHONHASHSEED; repr keys because the switch
+    # NamedTuple variants are not mutually orderable.
+    for key in sorted(set(b) | set(a),
+                      key=lambda pair: sorted(repr(s) for s in pair)):
         delta = a.get(key, 0) - b.get(key, 0)
         pair = tuple(key)
         if delta < 0:

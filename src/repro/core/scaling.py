@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.mcf.commodities import Commodity, build_flow_problem
 from repro.topology.elements import Network, SwitchId
@@ -113,8 +114,15 @@ def downscale_plan(
                 lam = solve_throughput(
                     build_flow_problem(pruned, workload), force=solver
                 )
-            except Exception:
-                continue  # pruning disconnected the workload; skip
+            except Exception as exc:
+                # Pruning disconnected the workload; skip the candidate
+                # but leave an audit trail instead of failing silently.
+                obs.event(
+                    "core.scaling.candidate_skipped",
+                    candidate=str(candidate),
+                    reason=str(exc) or type(exc).__name__,
+                )
+                continue
             if best is None or lam > best[0]:
                 best = (lam, candidate)
         if best is None or best[0] < floor:

@@ -102,7 +102,9 @@ class ChaosSweepResult:
 
     def cell(self, technology: str, rate: float) -> ChaosCell:
         for c in self.cells:
-            if c.technology == technology and c.rate == rate:
+            # Exact match is correct: rate is a configured sweep
+            # parameter stored verbatim, never a computed float.
+            if c.technology == technology and c.rate == rate:  # flatlint: disable=FT003
                 return c
         raise KeyError(f"no cell for {technology!r} at rate {rate}")
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.errors import ReproError
 from repro.core.conversion import Mode
 from repro.experiments.common import ExperimentResult, throughput_of
@@ -75,7 +76,16 @@ def run_degradation(
                 degraded = degrade(net, fraction, rng)
                 try:
                     lam = throughput_of(degraded, workload, force=solver)
-                except Exception:
+                except Exception as exc:
+                    # A heavily-degraded draw can disconnect the
+                    # workload; score it as zero throughput, audibly.
+                    obs.event(
+                        "experiments.degradation.solver_failure",
+                        topology=name,
+                        fraction=fraction,
+                        draw=draw,
+                        reason=str(exc) or type(exc).__name__,
+                    )
                     lam = 0.0
                 total += lam
             series.add(fraction, (total / draws) / baseline)

@@ -121,7 +121,9 @@ def generate_report(
         scale=scale,
         seed=seed,
         timestamp=(
-            datetime.datetime.now().isoformat(timespec="seconds")
+            # Human-readable report header, not simulation state; off
+            # by default (stamp=False) in deterministic runs.
+            datetime.datetime.now().isoformat(timespec="seconds")  # flatlint: disable=FT001
             if stamp
             else None
         ),

@@ -125,7 +125,7 @@ class LinkSeries:
             (s.utilization for s in self.samples), q
         )
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> Dict[str, object]:
         return {
             "link": link_label(*self.key),
             "capacity": self.capacity,
@@ -440,7 +440,7 @@ class NetworkMonitor:
     # ------------------------------------------------------------------
     # export
     # ------------------------------------------------------------------
-    def snapshot(self) -> dict:
+    def snapshot(self) -> Dict[str, object]:
         """JSON-serializable summary of everything the monitor holds."""
         return {
             "net": self.net.name,

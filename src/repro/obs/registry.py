@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Type, TypeVar
 
 from repro.errors import ReproError
 from repro.obs.stats import nearest_rank_quantile
@@ -36,7 +36,7 @@ class Counter:
             raise ReproError(f"counter {self.name!r} cannot decrease")
         self.value += amount
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> Dict[str, object]:
         return {"kind": self.kind, "value": self.value}
 
 
@@ -53,7 +53,7 @@ class Gauge:
     def set(self, value: float) -> None:
         self.value = float(value)
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> Dict[str, object]:
         return {"kind": self.kind, "value": self.value}
 
 
@@ -107,7 +107,7 @@ class Histogram:
         """Nearest-rank quantile over the retained samples."""
         return nearest_rank_quantile(self._samples, q)
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> Dict[str, object]:
         return {
             "kind": self.kind,
             "count": self.count,
@@ -134,9 +134,13 @@ class Timer:
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, *exc) -> bool:
+    def __exit__(self, *exc: object) -> bool:
         self._histogram.observe(time.perf_counter() - self._start)
         return False
+
+
+#: The concrete metric kinds the registry can create on first use.
+_MetricT = TypeVar("_MetricT", Counter, Gauge, Histogram)
 
 
 class MetricsRegistry:
@@ -150,7 +154,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._metrics: Dict[str, object] = {}
 
-    def _get(self, name: str, cls):
+    def _get(self, name: str, cls: Type[_MetricT]) -> _MetricT:
         metric = self._metrics.get(name)
         if metric is None:
             if not name or name != name.strip():
@@ -159,8 +163,8 @@ class MetricsRegistry:
             self._metrics[name] = metric
         elif not isinstance(metric, cls):
             raise ReproError(
-                f"metric {name!r} is a {metric.kind}, not a "
-                f"{cls.kind}"
+                f"metric {name!r} is a {getattr(metric, 'kind', '?')}, "
+                f"not a {cls.kind}"
             )
         return metric
 
@@ -185,7 +189,7 @@ class MetricsRegistry:
     def __len__(self) -> int:
         return len(self._metrics)
 
-    def snapshot(self) -> Dict[str, dict]:
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
         """All metrics as plain dicts (JSON-serializable)."""
         return {name: self._metrics[name].snapshot()
                 for name in self.names()}

@@ -11,13 +11,16 @@ from __future__ import annotations
 
 import json
 import sys
-from typing import IO, List, Optional
+from typing import IO, Dict, List, Optional
+
+#: One telemetry event on the wire: a flat, JSON-ready mapping.
+TelemetryEvent = Dict[str, object]
 
 
 class Sink:
     """Interface: subclasses override :meth:`emit`."""
 
-    def emit(self, event: dict) -> None:
+    def emit(self, event: TelemetryEvent) -> None:
         raise NotImplementedError
 
     def flush(self) -> None:
@@ -33,7 +36,7 @@ class Sink:
 class NullSink(Sink):
     """Swallows everything (metrics-only telemetry)."""
 
-    def emit(self, event: dict) -> None:
+    def emit(self, event: TelemetryEvent) -> None:
         pass
 
     def describe(self) -> str:
@@ -44,9 +47,9 @@ class MemorySink(Sink):
     """Buffers events in a list — the test and notebook sink."""
 
     def __init__(self) -> None:
-        self.events: List[dict] = []
+        self.events: List[TelemetryEvent] = []
 
-    def emit(self, event: dict) -> None:
+    def emit(self, event: TelemetryEvent) -> None:
         self.events.append(event)
 
     def clear(self) -> None:
@@ -62,7 +65,7 @@ class StreamSink(Sink):
     def __init__(self, stream: Optional[IO[str]] = None) -> None:
         self._stream = stream if stream is not None else sys.stderr
 
-    def emit(self, event: dict) -> None:
+    def emit(self, event: TelemetryEvent) -> None:
         self._stream.write(json.dumps(event, sort_keys=True,
                                       default=str) + "\n")
 

@@ -20,7 +20,7 @@ Design goals, in order:
 from __future__ import annotations
 
 import time
-from typing import List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.obs.registry import MetricsRegistry
 from repro.obs.sinks import NullSink, Sink
@@ -123,7 +123,7 @@ class _NullCtx:
     def __enter__(self) -> "_NullCtx":
         return self
 
-    def __exit__(self, *exc) -> bool:
+    def __exit__(self, *exc: object) -> bool:
         return False
 
 
@@ -141,7 +141,7 @@ class _Timer:
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, *exc) -> bool:
+    def __exit__(self, *exc: object) -> bool:
         elapsed = time.perf_counter() - self._start
         if _state.enabled:
             registry.histogram(self._name).observe(elapsed)
@@ -155,7 +155,7 @@ class _Timer:
         return False
 
 
-def timer(name: str):
+def timer(name: str) -> Union[_NullCtx, _Timer]:
     """``with timer("mcf.exact.solve_s"):`` — seconds into a histogram."""
     if not _state.enabled:
         return _NULL_CTX
@@ -173,7 +173,7 @@ class Span:
 
     __slots__ = ("name", "attrs", "path", "depth", "_start")
 
-    def __init__(self, name: str, attrs: dict) -> None:
+    def __init__(self, name: str, attrs: Dict[str, object]) -> None:
         self.name = name
         self.attrs = attrs
         self.path = name
@@ -188,7 +188,7 @@ class Span:
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, exc_type, *exc) -> bool:
+    def __exit__(self, exc_type: Optional[type], *exc: object) -> bool:
         duration = time.perf_counter() - self._start
         stack = _state.span_stack
         if stack and stack[-1] == self.name:
@@ -210,14 +210,14 @@ class Span:
         return False
 
 
-def span(name: str, **attrs):
+def span(name: str, **attrs: object) -> Union[_NullCtx, Span]:
     """``with span("convert", mode="global-random"):`` — trace a phase."""
     if not _state.enabled:
         return _NULL_CTX
     return Span(name, attrs)
 
 
-def event(name: str, **attrs) -> None:
+def event(name: str, **attrs: object) -> None:
     """Emit a one-off structured event (e.g. a skipped candidate)."""
     if not _state.enabled:
         return

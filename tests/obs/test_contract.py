@@ -1,0 +1,123 @@
+"""Unit tests for the shared telemetry wire contract (repro.obs.contract)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import contract
+
+
+def event(name, **attrs):
+    base = {"ts": 1.0, "name": name, "kind": "event", "value": 1}
+    base.update(attrs)
+    return base
+
+
+class TestRegistryConsistency:
+    def test_known_names_derived_from_event_fields(self):
+        assert contract.KNOWN_EVENT_NAMES == frozenset(contract.EVENT_FIELDS)
+
+    def test_every_value_check_is_for_a_registered_name(self):
+        assert set(contract.EVENT_CHECKS) <= set(contract.KNOWN_EVENT_NAMES)
+
+    def test_required_fields_are_nonempty_frozensets(self):
+        for name, fields in contract.EVENT_FIELDS.items():
+            assert isinstance(fields, frozenset), name
+            assert fields, name
+
+    def test_event_kind_in_kinds(self):
+        assert "event" in contract.KINDS
+        assert {"link_sample", "link_down", "link_up"} <= contract.KINDS
+
+
+class TestCheckEvent:
+    def test_valid_heal_passes(self):
+        assert contract.check_event(
+            event("core.failures.heal", reconfigured=2, unrecoverable=0,
+                  t=3.5)) == []
+
+    def test_missing_ts_and_value(self):
+        problems = contract.check_event({"name": "x", "kind": "counter"})
+        assert any("'ts'" in p for p in problems)
+        assert any("'value' or 'duration_s'" in p for p in problems)
+
+    def test_bool_is_not_numeric(self):
+        problems = contract.check_event(
+            {"ts": True, "name": "x", "kind": "counter", "value": True})
+        assert problems
+
+    def test_unknown_kind(self):
+        problems = contract.check_event(
+            {"ts": 1.0, "name": "x", "kind": "blob", "value": 1})
+        assert any("unknown 'kind'" in p for p in problems)
+
+    def test_negative_duration(self):
+        problems = contract.check_event(
+            {"ts": 1.0, "name": "x", "kind": "timer", "duration_s": -0.5})
+        assert any("negative 'duration_s'" in p for p in problems)
+
+    def test_span_requires_path_and_depth(self):
+        problems = contract.check_event(
+            {"ts": 1.0, "name": "s", "kind": "span", "duration_s": 0.1})
+        assert any("span missing 'path'" in p for p in problems)
+        assert any("integer 'depth'" in p for p in problems)
+
+    def test_bad_converter_retry_fault_value(self):
+        problems = contract.check_event(
+            event("core.reconfigure.converter_retry", converter="c0",
+                  attempt=1, batch=0, fault="explosion", t=1.0))
+        assert any("'timeout' or 'nack'" in p for p in problems)
+
+    def test_solver_failure_fraction_range(self):
+        problems = contract.check_event(
+            event("experiments.degradation.solver_failure", topology="ft",
+                  fraction=1.5, draw=0))
+        assert any("outside [0, 1]" in p for p in problems)
+
+    def test_candidate_skipped_rejects_empty_reason(self):
+        problems = contract.check_event(
+            event("core.scaling.candidate_skipped", candidate="core3",
+                  reason="   "))
+        assert any("'reason'" in p for p in problems)
+
+    def test_negative_simulated_time(self):
+        problems = contract.check_event(
+            event("core.failures.heal", reconfigured=0, unrecoverable=0,
+                  t=-1.0))
+        assert any("negative" in p for p in problems)
+
+    def test_link_sample_zero_capacity(self):
+        problems = contract.check_event({
+            "ts": 1.0, "name": "monitor.link", "kind": "link_sample",
+            "value": 1, "link": "a-b", "t": 0.5, "utilization": 0.0,
+            "rate": 0.0, "capacity": 0, "active_flows": 0,
+        })
+        assert any("zero 'capacity'" in p for p in problems)
+
+
+class TestCheckLineAndStream:
+    def test_invalid_json(self):
+        problems = contract.check_line("{not json")
+        assert len(problems) == 1
+        assert "not valid JSON" in problems[0]
+
+    def test_non_object_line(self):
+        assert contract.check_line("[1, 2]") == ["not a JSON object"]
+
+    def test_valid_line(self):
+        line = json.dumps(
+            {"ts": 0.1, "name": "n", "kind": "gauge", "value": 2.0})
+        assert contract.check_line(line) == []
+
+    def test_validate_stream_maps_line_numbers(self):
+        lines = [
+            json.dumps({"ts": 0.1, "name": "n", "kind": "gauge",
+                        "value": 2.0}),
+            "garbage",
+            json.dumps({"ts": 0.2, "name": "x", "kind": "nope",
+                        "value": 1}),
+        ]
+        errors = contract.validate_stream(lines)
+        assert sorted(errors) == [2, 3]
+        assert "not valid JSON" in errors[2][0]
+        assert any("unknown 'kind'" in p for p in errors[3])

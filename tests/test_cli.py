@@ -235,6 +235,20 @@ class TestVersionAndInfo:
         assert code == 0
         assert "telemetry: enabled -> stderr" in out
 
+    def test_info_reports_lint_capability(self, capsys):
+        from tools.flatlint import MYPY_STRICT_PACKAGES, all_rules
+
+        code, out = run_cli(capsys, "info")
+        assert code == 0
+        lint_lines = [l for l in out.splitlines() if l.startswith("lint:")]
+        assert len(lint_lines) == 1
+        line = lint_lines[0]
+        assert f"flatlint {len(all_rules())} rules" in line
+        for rule in all_rules():
+            assert rule.code in line
+        for package in MYPY_STRICT_PACKAGES:
+            assert package in line
+
 
 class TestTelemetry:
     def test_disabled_run_prints_no_telemetry(self, capsys):

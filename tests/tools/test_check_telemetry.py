@@ -1,0 +1,102 @@
+"""Edge cases for the runtime JSONL validator (tools/check_telemetry.py)."""
+
+from __future__ import annotations
+
+import json
+
+from tools import check_telemetry
+
+
+def write_events(tmp_path, events):
+    path = tmp_path / "run.jsonl"
+    path.write_text(
+        "".join(json.dumps(e) + "\n" for e in events), encoding="utf-8")
+    return str(path)
+
+
+def counter(name, value=1.0):
+    return {"ts": 0.5, "name": name, "kind": "counter", "value": value}
+
+
+GOOD_HEAL = {
+    "ts": 1.0, "name": "core.failures.heal", "kind": "event", "value": 1,
+    "reconfigured": 2, "unrecoverable": 0, "t": 3.5,
+}
+
+
+def test_valid_stream_passes(tmp_path, capsys):
+    path = write_events(tmp_path, [counter("a"), GOOD_HEAL])
+    assert check_telemetry.main([path]) == 0
+    out = capsys.readouterr().out
+    assert "OK" in out and "2 events" in out
+
+
+def test_unknown_kind_fails(tmp_path, capsys):
+    bad = {"ts": 0.1, "name": "a", "kind": "metric", "value": 1}
+    path = write_events(tmp_path, [bad])
+    assert check_telemetry.main([path]) == 1
+    err = capsys.readouterr().err
+    assert "unknown 'kind'" in err
+    assert ":1:" in err
+
+
+def test_unregistered_event_name_fails(tmp_path, capsys):
+    bad = {"ts": 0.1, "name": "made.up", "kind": "event", "value": 1}
+    path = write_events(tmp_path, [bad])
+    assert check_telemetry.main([path]) == 1
+    assert "unknown event type 'made.up'" in capsys.readouterr().err
+
+
+def test_missing_per_name_field_fails(tmp_path, capsys):
+    heal = dict(GOOD_HEAL)
+    del heal["t"]
+    path = write_events(tmp_path, [heal])
+    assert check_telemetry.main([path]) == 1
+    assert "'t'" in capsys.readouterr().err
+
+
+def test_link_sample_missing_utilization_fails(tmp_path, capsys):
+    sample = {
+        "ts": 0.2, "name": "monitor.link", "kind": "link_sample", "value": 1,
+        "link": "core0-agg0", "t": 0.2, "rate": 5.0, "capacity": 10.0,
+        "active_flows": 3,
+    }
+    path = write_events(tmp_path, [sample])
+    assert check_telemetry.main([path]) == 1
+    assert "utilization" in capsys.readouterr().err
+
+
+def test_empty_file_fails(tmp_path, capsys):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("", encoding="utf-8")
+    assert check_telemetry.main([str(path)]) == 1
+    assert "no events" in capsys.readouterr().err
+
+
+def test_whitespace_only_file_fails(tmp_path, capsys):
+    path = tmp_path / "blank.jsonl"
+    path.write_text("\n\n  \n", encoding="utf-8")
+    assert check_telemetry.main([str(path)]) == 1
+    assert "no events" in capsys.readouterr().err
+
+
+def test_missing_file_fails(tmp_path, capsys):
+    assert check_telemetry.main([str(tmp_path / "nope.jsonl")]) == 1
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_min_names_coverage_gate(tmp_path, capsys):
+    path = write_events(tmp_path, [counter("a"), counter("b")])
+    assert check_telemetry.main([path, "--min-names", "2"]) == 0
+    capsys.readouterr()
+    assert check_telemetry.main([path, "--min-names", "3"]) == 1
+    err = capsys.readouterr().err
+    assert "only 2 distinct names" in err and "need 3" in err
+
+
+def test_reexports_come_from_contract():
+    from repro.obs import contract
+
+    assert check_telemetry.KINDS is contract.KINDS
+    assert check_telemetry.KNOWN_EVENT_NAMES is contract.KNOWN_EVENT_NAMES
+    assert check_telemetry.check_line is contract.check_line

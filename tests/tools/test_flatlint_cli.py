@@ -1,0 +1,112 @@
+"""flatlint CLI behavior, the repo-lints-clean self-check, and the
+flatlint <-> pyproject mypy-gate sync."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from tools.flatlint import MYPY_STRICT_PACKAGES, all_rules, capability_line
+from tools.flatlint.__main__ import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+BAD_SOURCE = """\
+import random
+
+
+def pick(xs):
+    return random.choice(xs)
+"""
+
+
+def write_bad(tmp_path):
+    path = tmp_path / "bad.py"
+    path.write_text(BAD_SOURCE, encoding="utf-8")
+    return path
+
+
+def test_repo_lints_clean():
+    """The acceptance criterion: src/ and tests/ carry zero findings."""
+    code = main([str(REPO_ROOT / "src"), str(REPO_ROOT / "tests")])
+    assert code == 0
+
+
+def test_findings_exit_1_and_text_report(tmp_path, capsys):
+    path = write_bad(tmp_path)
+    assert main([str(path)]) == 1
+    out = capsys.readouterr().out
+    assert "FT001" in out
+    assert f"{path}:5:" in out
+    assert "1 finding" in out
+
+
+def test_clean_file_exits_0(tmp_path, capsys):
+    path = tmp_path / "ok.py"
+    path.write_text("x = 1\n", encoding="utf-8")
+    assert main([str(path)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_json_report_shape(tmp_path, capsys):
+    path = write_bad(tmp_path)
+    assert main([str(path), "--format", "json"]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["files_checked"] == 1
+    assert report["counts"] == {"FT001": 1}
+    (finding,) = report["findings"]
+    assert finding["code"] == "FT001"
+    assert finding["line"] == 5
+    assert finding["path"].endswith("bad.py")
+    assert finding["message"]
+
+
+def test_select_limits_rules(tmp_path, capsys):
+    path = tmp_path / "bad.py"
+    path.write_text("def f(xs=[]):\n    return xs\n", encoding="utf-8")
+    assert main([str(path), "--select", "FT001"]) == 0
+    capsys.readouterr()
+    assert main([str(path), "--select", "FT003"]) == 1
+
+
+def test_unknown_select_code_is_usage_error(tmp_path, capsys):
+    assert main([str(tmp_path), "--select", "FT999"]) == 2
+    err = capsys.readouterr().err
+    assert "FT999" in err and "known" in err
+
+
+def test_missing_path_is_usage_error(tmp_path, capsys):
+    assert main([str(tmp_path / "nope.py")]) == 2
+    assert "flatlint:" in capsys.readouterr().err
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in all_rules():
+        assert rule.code in out
+        assert rule.summary in out
+
+
+def test_capability_line_names_rules_and_strict_packages():
+    line = capability_line()
+    assert f"{len(all_rules())} rules" in line
+    for rule in all_rules():
+        assert rule.code in line
+    for package in MYPY_STRICT_PACKAGES:
+        assert package in line
+
+
+def test_mypy_strict_packages_match_pyproject():
+    """flattree info and pyproject must advertise the same strict set."""
+    tomllib = pytest.importorskip("tomllib")
+    config = tomllib.loads(
+        (REPO_ROOT / "pyproject.toml").read_text(encoding="utf-8"))
+    overrides = config["tool"]["mypy"]["overrides"]
+    strict = {module
+              for entry in overrides
+              if entry.get("disallow_untyped_defs")
+              for module in entry["module"]}
+    assert strict == {f"{package}.*" for package in MYPY_STRICT_PACKAGES}

@@ -1,0 +1,384 @@
+"""Every flatlint rule must *fire* on a bad fixture and stay silent on
+the fixed version — rules proven to detect, not just proven quiet."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from tools.flatlint import all_rules
+from tools.flatlint.engine import PARSE_ERROR_CODE, lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def lint_snippet(tmp_path, relpath, source):
+    """Write *source* at *relpath* under tmp_path and lint it.
+
+    The relative path controls the module name the rules see:
+    ``src/repro/flowsim/bad.py`` lints as ``repro.flowsim.bad``, so
+    scope-sensitive rules behave exactly as they would in-tree.
+    """
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    findings, _ = lint_paths([str(path)], all_rules())
+    return findings
+
+
+def codes(findings):
+    return sorted({f.code for f in findings})
+
+
+class TestFT001Determinism:
+    def test_global_random_call_fires(self, tmp_path):
+        findings = lint_snippet(tmp_path, "mod.py", """\
+            import random
+
+            def pick(xs):
+                return random.choice(xs)
+            """)
+        assert codes(findings) == ["FT001"]
+        assert "seeded random.Random" in findings[0].message
+
+    def test_seeded_rng_is_clean(self, tmp_path):
+        findings = lint_snippet(tmp_path, "mod.py", """\
+            import random
+
+            def pick(xs, seed):
+                rng = random.Random(seed)
+                return rng.choice(xs)
+            """)
+        assert findings == []
+
+    def test_from_import_alias_fires(self, tmp_path):
+        findings = lint_snippet(tmp_path, "mod.py", """\
+            from random import shuffle as mix
+
+            def scramble(xs):
+                mix(xs)
+            """)
+        assert codes(findings) == ["FT001"]
+
+    def test_numpy_global_rng_fires_but_default_rng_clean(self, tmp_path):
+        findings = lint_snippet(tmp_path, "mod.py", """\
+            import numpy as np
+
+            def draw():
+                return np.random.rand(3)
+
+            def seeded(seed):
+                return np.random.default_rng(seed)
+            """)
+        assert codes(findings) == ["FT001"]
+        assert len(findings) == 1
+        assert "default_rng" in findings[0].message
+
+    def test_local_variable_named_random_is_clean(self, tmp_path):
+        findings = lint_snippet(tmp_path, "mod.py", """\
+            def pick(random, xs):
+                return random.choice(xs)
+            """)
+        assert findings == []
+
+    def test_wall_clock_fires_only_in_simulation_scope(self, tmp_path):
+        bad = """\
+            import time
+
+            def stamp():
+                return time.time()
+            """
+        in_scope = lint_snippet(tmp_path, "src/repro/flowsim/bad.py", bad)
+        assert codes(in_scope) == ["FT001"]
+        assert "wall-clock" in in_scope[0].message
+        out_of_scope = lint_snippet(tmp_path, "src/repro/topology/ok.py", bad)
+        assert out_of_scope == []
+
+    def test_datetime_now_fires_in_experiments(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, "src/repro/experiments/bad.py", """\
+            from datetime import datetime
+
+            def stamp():
+                return datetime.now().isoformat()
+            """)
+        assert codes(findings) == ["FT001"]
+
+    def test_set_iteration_fires_and_sorted_is_clean(self, tmp_path):
+        findings = lint_snippet(tmp_path, "mod.py", """\
+            def out(a, b):
+                for x in set(a) | set(b):
+                    print(x)
+            """)
+        assert codes(findings) == ["FT001"]
+        assert "PYTHONHASHSEED" in findings[0].message
+        fixed = lint_snippet(tmp_path, "ok.py", """\
+            def out(a, b):
+                for x in sorted(set(a) | set(b)):
+                    print(x)
+            """)
+        assert fixed == []
+
+    def test_list_of_set_and_rng_choice_of_set_fire(self, tmp_path):
+        findings = lint_snippet(tmp_path, "mod.py", """\
+            def f(xs, rng):
+                a = list(set(xs))
+                b = rng.choice(frozenset(xs))
+                return a, b
+            """)
+        assert [f.code for f in findings] == ["FT001", "FT001"]
+
+
+class TestFT002TelemetryContract:
+    def test_unregistered_name_fires_in_library(self, tmp_path):
+        findings = lint_snippet(tmp_path, "src/repro/core/fake.py", """\
+            from repro import obs
+
+            def f():
+                obs.event("totally.unregistered", x=1)
+            """)
+        assert codes(findings) == ["FT002"]
+        assert "not registered" in findings[0].message
+
+    def test_unregistered_scratch_name_allowed_in_tests(self, tmp_path):
+        findings = lint_snippet(tmp_path, "tests/fake_test.py", """\
+            from repro import obs
+
+            def test_plumbing():
+                obs.event("scratch.name", x=1)
+            """)
+        assert findings == []
+
+    def test_missing_required_field_fires(self, tmp_path):
+        findings = lint_snippet(tmp_path, "src/repro/core/fake.py", """\
+            from repro import obs
+
+            def f():
+                obs.event("core.failures.heal", reconfigured=1,
+                          unrecoverable=0)
+            """)
+        assert codes(findings) == ["FT002"]
+        assert "'t'" in findings[0].message or " t" in findings[0].message
+
+    def test_complete_emit_is_clean(self, tmp_path):
+        findings = lint_snippet(tmp_path, "src/repro/core/fake.py", """\
+            from repro import obs
+
+            def f(t):
+                obs.event("core.failures.heal", reconfigured=1,
+                          unrecoverable=0, t=t)
+            """)
+        assert findings == []
+
+    def test_kwargs_forwarding_skips_field_check(self, tmp_path):
+        findings = lint_snippet(tmp_path, "src/repro/core/fake.py", """\
+            from repro import obs
+
+            def f(**attrs):
+                obs.event("core.failures.heal", **attrs)
+            """)
+        assert findings == []
+
+    def test_dynamic_name_fires_in_library(self, tmp_path):
+        findings = lint_snippet(tmp_path, "src/repro/core/fake.py", """\
+            from repro import obs
+
+            def f(name):
+                obs.event(name, x=1)
+            """)
+        assert codes(findings) == ["FT002"]
+        assert "literal" in findings[0].message
+
+    def test_registered_name_without_emit_site_fires(self, tmp_path):
+        # A lone copy of the real contract module has no emit sites in
+        # scope, so *every* registered name must be reported as dead.
+        from repro.obs import contract
+
+        source = (REPO_ROOT / "src/repro/obs/contract.py").read_text(
+            encoding="utf-8")
+        findings = lint_snippet(
+            tmp_path, "src/repro/obs/contract.py", source)
+        assert codes(findings) == ["FT002"]
+        assert len(findings) == len(contract.KNOWN_EVENT_NAMES)
+        assert all("no emit site" in f.message for f in findings)
+        # ... and each finding points at the registration line itself.
+        assert all(f.line > 1 for f in findings)
+
+
+class TestFT003Hygiene:
+    def test_mutable_default_fires(self, tmp_path):
+        findings = lint_snippet(tmp_path, "mod.py", """\
+            def f(xs=[]):
+                return xs
+            """)
+        assert codes(findings) == ["FT003"]
+        assert "mutable default" in findings[0].message
+
+    def test_none_default_is_clean(self, tmp_path):
+        findings = lint_snippet(tmp_path, "mod.py", """\
+            def f(xs=None):
+                return xs or []
+            """)
+        assert findings == []
+
+    def test_silent_broad_except_fires(self, tmp_path):
+        findings = lint_snippet(tmp_path, "mod.py", """\
+            def f():
+                try:
+                    risky()
+                except Exception:
+                    pass
+            """)
+        assert codes(findings) == ["FT003"]
+        assert "swallows" in findings[0].message
+
+    def test_bare_except_fires(self, tmp_path):
+        findings = lint_snippet(tmp_path, "mod.py", """\
+            def f():
+                try:
+                    risky()
+                except:
+                    return None
+            """)
+        assert codes(findings) == ["FT003"]
+
+    def test_narrow_except_and_recorded_broad_except_clean(self, tmp_path):
+        findings = lint_snippet(tmp_path, "mod.py", """\
+            from repro import obs
+
+            def f():
+                try:
+                    risky()
+                except ValueError:
+                    pass
+
+            def g():
+                try:
+                    risky()
+                except Exception as exc:
+                    obs.incr("failures")
+
+            def h():
+                try:
+                    risky()
+                except Exception:
+                    raise
+            """)
+        assert findings == []
+
+    def test_float_equality_fires_in_library_only(self, tmp_path):
+        bad = """\
+            def f(capacity, other):
+                return capacity == other.capacity
+            """
+        in_library = lint_snippet(tmp_path, "src/repro/core/cap.py", bad)
+        assert codes(in_library) == ["FT003"]
+        assert "isclose" in in_library[0].message
+        in_tests = lint_snippet(tmp_path, "tests/test_cap.py", bad)
+        assert in_tests == []
+
+    def test_zero_sentinel_comparison_is_clean(self, tmp_path):
+        findings = lint_snippet(tmp_path, "src/repro/core/cap.py", """\
+            def f(rate):
+                return rate == 0.0
+            """)
+        assert findings == []
+
+
+class TestFT004Layering:
+    def test_forbidden_module_scope_import_fires(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, "src/repro/topology/bad.py", """\
+            from repro.monitor import NetworkMonitor
+            """)
+        assert codes(findings) == ["FT004"]
+        assert "repro.monitor" in findings[0].message
+
+    def test_lazy_function_level_import_is_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, "src/repro/topology/ok.py", """\
+            def late():
+                from repro.monitor import NetworkMonitor
+                return NetworkMonitor
+            """)
+        assert findings == []
+
+    def test_obs_internals_fire_even_lazily(self, tmp_path):
+        findings = lint_snippet(tmp_path, "src/repro/core/bad.py", """\
+            def peek():
+                from repro.obs.trace import _state
+                return _state
+            """)
+        assert codes(findings) == ["FT004"]
+        assert "internal" in findings[0].message
+
+    def test_obs_facade_and_public_submodules_clean(self, tmp_path):
+        findings = lint_snippet(tmp_path, "src/repro/core/ok.py", """\
+            from repro import obs
+            from repro.obs.stats import gini
+            from repro.obs.contract import KNOWN_EVENT_NAMES
+            """)
+        assert findings == []
+
+    def test_unknown_package_must_be_declared(self, tmp_path):
+        findings = lint_snippet(tmp_path, "src/repro/newpkg/mod.py", """\
+            from repro.core import controller
+            """)
+        assert codes(findings) == ["FT004"]
+        assert "layering DAG" in findings[0].message
+
+    def test_declared_dag_is_acyclic(self):
+        from tools.flatlint.rules.layering import ALLOWED
+
+        state = {}
+
+        def visit(pkg):
+            if state.get(pkg) == "done":
+                return
+            assert state.get(pkg) != "visiting", f"cycle through {pkg}"
+            state[pkg] = "visiting"
+            for dep in ALLOWED.get(pkg, ()):
+                visit(dep)
+            state[pkg] = "done"
+
+        for pkg in ALLOWED:
+            visit(pkg)
+
+
+class TestSuppressionsAndParseErrors:
+    def test_inline_suppression_silences_only_that_code(self, tmp_path):
+        findings = lint_snippet(tmp_path, "mod.py", """\
+            import random
+
+            def pick(xs):
+                return random.choice(xs)  # flatlint: disable=FT001
+            """)
+        assert findings == []
+
+    def test_wrong_code_does_not_suppress(self, tmp_path):
+        findings = lint_snippet(tmp_path, "mod.py", """\
+            import random
+
+            def pick(xs):
+                return random.choice(xs)  # flatlint: disable=FT003
+            """)
+        assert codes(findings) == ["FT001"]
+
+    def test_disable_all_suppresses_everything(self, tmp_path):
+        findings = lint_snippet(tmp_path, "mod.py", """\
+            import random
+
+            def pick(xs=[]):  # flatlint: disable=all
+                return xs
+            """)
+        assert findings == []
+
+    def test_syntax_error_reported_as_ft000(self, tmp_path):
+        findings = lint_snippet(tmp_path, "mod.py", "def broken(:\n")
+        assert [f.code for f in findings] == [PARSE_ERROR_CODE]
+
+    def test_every_rule_has_stable_code_and_summary(self):
+        rules = all_rules()
+        assert [r.code for r in rules] == ["FT001", "FT002", "FT003",
+                                           "FT004"]
+        assert all(r.name and r.summary for r in rules)

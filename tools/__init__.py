@@ -1,0 +1,1 @@
+"""Repo tooling: the JSONL telemetry validator and the flatlint static pass."""

@@ -1,16 +1,13 @@
 #!/usr/bin/env python3
 """Validate a telemetry JSONL stream against the event wire contract.
 
-Every line must be a JSON object carrying ``ts`` (number), ``name``
-(non-empty string), ``kind`` (one of the known kinds), and either
-``value`` (number) or ``duration_s`` (non-negative number).  Span
-events must also carry ``path`` and ``depth``; the monitor's
-``link_sample`` / ``link_down`` / ``link_up`` events must carry their
-per-kind fields (``link``, ``t``, and for samples ``utilization`` /
-``rate`` / ``capacity`` / ``active_flows``).  One-off ``event`` lines
-must use a *registered* event name — unknown event types fail the
-check instead of sliding through unvalidated.  See
-``docs/observability.md`` for the contract.
+The contract itself — legal ``kind`` values, the one-off event-name
+registry, per-kind and per-name schemas — lives in
+:mod:`repro.obs.contract`, shared with the ``tools.flatlint`` static
+pass (rule FT002) so the three checkers can never drift.  This script
+is the runtime half: it replays a JSONL file through the contract's
+``check_line`` and reports every violating line.  See
+``docs/observability.md`` for the contract prose.
 
 Usage::
 
@@ -19,7 +16,9 @@ Usage::
 Exits 0 when every line validates (and, with ``--min-names``, when at
 least N distinct metric/span names appear); prints the offending line
 and exits 1 otherwise.  Used by ``make telemetry-smoke``,
-``make monitor-smoke`` and CI.
+``make monitor-smoke`` and CI.  Runs standalone from a repo checkout:
+when ``repro`` is not already importable it adds the sibling ``src/``
+directory to ``sys.path``.
 """
 
 from __future__ import annotations
@@ -27,169 +26,19 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List
 
-KINDS = {
-    "counter", "gauge", "histogram", "timer", "span", "event",
-    "link_sample", "link_down", "link_up",
-}
+try:
+    from repro.obs import contract
+except ImportError:  # standalone invocation: python tools/check_telemetry.py
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.obs import contract
 
-#: The contract's one-off event names (kind == "event").  Anything not
-#: listed here is an unknown event type and fails validation — add new
-#: names here *and* to docs/observability.md when instrumenting.
-KNOWN_EVENT_NAMES = {
-    "core.profiling.skipped_candidate",
-    "core.reconfigure.converter_retry",
-    "core.reconfigure.batch_rollback",
-    "core.failures.heal",
-    "flowsim.flow_rerouted",
-}
-
-
-def _numeric(value) -> bool:
-    return isinstance(value, (int, float)) and not isinstance(value, bool)
-
-
-def _check_event_time(event: dict, problems: List[str], label: str) -> None:
-    t = event.get("t")
-    if not _numeric(t):
-        problems.append(f"{label} missing numeric 't'")
-    elif t < 0:
-        problems.append(f"negative {label} time {t}")
-
-
-def _check_counted(event: dict, problems: List[str], label: str,
-                   field_name: str, minimum: int = 0) -> None:
-    value = event.get(field_name)
-    if not isinstance(value, int) or isinstance(value, bool):
-        problems.append(f"{label} missing integer {field_name!r}")
-    elif value < minimum:
-        problems.append(f"{label} {field_name!r} below {minimum}: {value}")
-
-
-def _check_converter_retry(event: dict, problems: List[str]) -> None:
-    converter = event.get("converter")
-    if not isinstance(converter, str) or not converter.strip():
-        problems.append("converter_retry missing non-empty 'converter'")
-    _check_counted(event, problems, "converter_retry", "attempt", minimum=1)
-    _check_counted(event, problems, "converter_retry", "batch")
-    if event.get("fault") not in ("timeout", "nack"):
-        problems.append(
-            "converter_retry 'fault' must be 'timeout' or 'nack'"
-        )
-    _check_event_time(event, problems, "converter_retry")
-
-
-def _check_batch_rollback(event: dict, problems: List[str]) -> None:
-    _check_counted(event, problems, "batch_rollback", "batch")
-    _check_counted(event, problems, "batch_rollback", "converters", minimum=1)
-    reason = event.get("reason")
-    if not isinstance(reason, str) or not reason.strip():
-        problems.append("batch_rollback missing non-empty 'reason'")
-    _check_event_time(event, problems, "batch_rollback")
-
-
-def _check_heal(event: dict, problems: List[str]) -> None:
-    _check_counted(event, problems, "heal", "reconfigured")
-    _check_counted(event, problems, "heal", "unrecoverable")
-    _check_event_time(event, problems, "heal")
-
-
-def _check_flow_rerouted(event: dict, problems: List[str]) -> None:
-    _check_counted(event, problems, "flow_rerouted", "flow_id")
-    if event.get("outcome") not in ("rerouted", "failed"):
-        problems.append(
-            "flow_rerouted 'outcome' must be 'rerouted' or 'failed'"
-        )
-    _check_event_time(event, problems, "flow_rerouted")
-
-
-#: Per-name schema checks for registered one-off events.
-EVENT_CHECKS = {
-    "core.reconfigure.converter_retry": _check_converter_retry,
-    "core.reconfigure.batch_rollback": _check_batch_rollback,
-    "core.failures.heal": _check_heal,
-    "flowsim.flow_rerouted": _check_flow_rerouted,
-}
-
-
-def _check_link_fields(event: dict, problems: List[str]) -> None:
-    link = event.get("link")
-    if not isinstance(link, str) or not link.strip():
-        problems.append("link event missing non-empty 'link'")
-    t = event.get("t")
-    if not _numeric(t):
-        problems.append("link event missing numeric 't'")
-    elif t < 0:
-        problems.append(f"negative link event time {t}")
-
-
-def _check_link_sample(event: dict, problems: List[str]) -> None:
-    for field_name in ("utilization", "rate", "capacity"):
-        value = event.get(field_name)
-        if not _numeric(value):
-            problems.append(f"link_sample missing numeric {field_name!r}")
-        elif value < 0:
-            problems.append(f"negative {field_name!r} {value}")
-    if event.get("capacity") == 0:
-        problems.append("link_sample has zero 'capacity'")
-    active = event.get("active_flows")
-    if not isinstance(active, int) or isinstance(active, bool) or active < 0:
-        problems.append(
-            "link_sample missing non-negative integer 'active_flows'"
-        )
-
-
-def check_line(line: str, lineno: int) -> List[str]:
-    """Return a list of problems with one JSONL line (empty = valid)."""
-    problems: List[str] = []
-    try:
-        event = json.loads(line)
-    except json.JSONDecodeError as exc:
-        return [f"not valid JSON: {exc}"]
-    if not isinstance(event, dict):
-        return ["not a JSON object"]
-
-    ts = event.get("ts")
-    if not _numeric(ts):
-        problems.append("missing/non-numeric 'ts'")
-    name = event.get("name")
-    if not isinstance(name, str) or not name.strip():
-        problems.append("missing/empty 'name'")
-    kind = event.get("kind")
-    if kind not in KINDS:
-        problems.append(
-            f"unknown 'kind' {kind!r} (expected one of {sorted(KINDS)})"
-        )
-
-    has_value = _numeric(event.get("value"))
-    duration = event.get("duration_s")
-    has_duration = _numeric(duration)
-    if not has_value and not has_duration:
-        problems.append("needs a numeric 'value' or 'duration_s'")
-    if has_duration and duration < 0:
-        problems.append(f"negative 'duration_s' {duration}")
-
-    if kind == "span":
-        if not isinstance(event.get("path"), str):
-            problems.append("span missing 'path'")
-        if not isinstance(event.get("depth"), int):
-            problems.append("span missing integer 'depth'")
-    elif kind == "event":
-        if isinstance(name, str) and name not in KNOWN_EVENT_NAMES:
-            problems.append(
-                f"unknown event type {name!r} (known: "
-                f"{sorted(KNOWN_EVENT_NAMES)}; register new one-off "
-                f"events in tools/check_telemetry.py and the docs)"
-            )
-        check = EVENT_CHECKS.get(name) if isinstance(name, str) else None
-        if check is not None:
-            check(event, problems)
-    elif kind in ("link_sample", "link_down", "link_up"):
-        _check_link_fields(event, problems)
-        if kind == "link_sample":
-            _check_link_sample(event, problems)
-    return problems
+#: Re-exported for callers that treated this script as the registry.
+KINDS = contract.KINDS
+KNOWN_EVENT_NAMES = contract.KNOWN_EVENT_NAMES
+check_line = contract.check_line
 
 
 def main(argv: List[str] | None = None) -> int:

@@ -1,0 +1,80 @@
+"""flatlint — domain-aware static analysis for the Flat-tree repo.
+
+An AST-based lint engine whose rules encode this repository's actual
+invariants rather than generic style:
+
+* **FT001 determinism** — no unseeded global RNG, no wall clock inside
+  simulation code, no order-sensitive iteration over bare sets;
+* **FT002 telemetry-contract** — literal ``obs.event`` names must be
+  registered in :mod:`repro.obs.contract` (and vice versa: registered
+  names must keep an emit site), required attributes checked;
+* **FT003 hygiene** — mutable defaults, swallowing broad excepts,
+  float ``==`` on capacity-like quantities;
+* **FT004 layering** — module-scope imports follow a declared package
+  DAG; ``repro.obs`` internals stay private.
+
+Run ``python -m tools.flatlint src tests`` (see ``make lint``);
+suppress a finding in place with ``# flatlint: disable=FT0xx``.  The
+full catalog lives in ``docs/static-analysis.md``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from .engine import (
+    Finding,
+    PARSE_ERROR_CODE,
+    Project,
+    Rule,
+    lint_paths,
+    render_json,
+    render_text,
+)
+from .rules import all_rules
+
+__version__ = "1.0.0"
+
+#: Packages held to mypy's strict flags in pyproject.toml — keep in
+#: sync with the [[tool.mypy.overrides]] table (tests assert this).
+MYPY_STRICT_PACKAGES: Tuple[str, ...] = (
+    "repro.obs", "repro.monitor", "repro.chaos",
+)
+
+
+def run(paths: List[str],
+        select: Optional[Set[str]] = None) -> Tuple[List[Finding], int]:
+    """Lint *paths* with every registered rule.
+
+    Returns ``(findings, files_checked)`` — the library entry point
+    used by the CLI, ``flattree info`` and the test suite.
+    """
+    findings, project = lint_paths(paths, all_rules(), select)
+    return findings, len(project.files)
+
+
+def capability_line() -> str:
+    """One-line lint capability summary for ``flattree info``."""
+    rules = all_rules()
+    codes = ", ".join(f"{rule.code} {rule.name}" for rule in rules)
+    strict = ", ".join(MYPY_STRICT_PACKAGES)
+    return (
+        f"flatlint {len(rules)} rules ({codes}); "
+        f"mypy strict on {strict} (make lint, docs/static-analysis.md)"
+    )
+
+
+__all__ = [
+    "Finding",
+    "MYPY_STRICT_PACKAGES",
+    "PARSE_ERROR_CODE",
+    "Project",
+    "Rule",
+    "all_rules",
+    "capability_line",
+    "lint_paths",
+    "render_json",
+    "render_text",
+    "run",
+    "__version__",
+]

@@ -1,0 +1,70 @@
+"""CLI: ``python -m tools.flatlint [paths ...]``.
+
+Exit status 0 when clean, 1 when findings were reported, 2 on usage
+errors (unknown rule code, unreadable path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__, all_rules, render_json, render_text, run
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="flatlint",
+        description="Domain-aware static analysis for the Flat-tree repo "
+                    "(rule catalog: docs/static-analysis.md).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "tests"],
+        help="files or directories to lint (default: src tests)")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)")
+    parser.add_argument(
+        "--select", metavar="CODES",
+        help="comma-separated rule codes to run (e.g. FT001,FT004)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit")
+    parser.add_argument(
+        "--version", action="version", version=f"flatlint {__version__}")
+    args = parser.parse_args(argv)
+
+    rules = all_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.code}  {rule.name:20s} {rule.summary}")
+        return 0
+
+    select = None
+    if args.select:
+        select = {code.strip().upper()
+                  for code in args.select.split(",") if code.strip()}
+        known = {rule.code for rule in rules}
+        unknown = sorted(select - known)
+        if unknown:
+            print(
+                f"flatlint: unknown rule code(s) {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})",
+                file=sys.stderr,
+            )
+            return 2
+
+    try:
+        findings, files_checked = run(list(args.paths), select)
+    except FileNotFoundError as exc:
+        print(f"flatlint: {exc}", file=sys.stderr)
+        return 2
+
+    render = render_json if args.format == "json" else render_text
+    print(render(findings, files_checked))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,86 @@
+"""Small AST helpers shared by the flatlint rules."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+@dataclass
+class ImportMap:
+    """What each local name in a file refers to, import-wise.
+
+    ``modules`` maps a local name to the module it is bound to
+    (``import numpy as np`` -> ``{"np": "numpy"}``); ``members`` maps a
+    local name to ``(module, original_name)`` (``from random import
+    choice as pick`` -> ``{"pick": ("random", "choice")}``).  Imports
+    are collected from the whole file, including function bodies.
+    """
+
+    modules: Dict[str, str] = field(default_factory=dict)
+    members: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+
+    @classmethod
+    def of(cls, tree: ast.AST) -> "ImportMap":
+        imports = cls()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    bound = alias.name if alias.asname else alias.name.split(".")[0]
+                    imports.modules[local] = bound
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    imports.members[local] = (node.module, alias.name)
+        return imports
+
+    def resolve_call(self, func: ast.AST) -> Optional[str]:
+        """Fully-qualified dotted name of a call target, if resolvable.
+
+        ``rnd.choice`` with ``import random as rnd`` resolves to
+        ``random.choice``; ``pick`` with ``from random import choice as
+        pick`` resolves to ``random.choice``; unknown bases resolve to
+        the literal dotted chain (so callers can still pattern-match on
+        ``obs.event``-style idioms).
+        """
+        dotted = dotted_name(func)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        if head in self.modules:
+            base = self.modules[head]
+            return f"{base}.{rest}" if rest else base
+        if head in self.members:
+            module, original = self.members[head]
+            qualified = f"{module}.{original}"
+            return f"{qualified}.{rest}" if rest else qualified
+        return dotted
+
+    def resolve_imported(self, func: ast.AST) -> Optional[str]:
+        """Like :meth:`resolve_call`, but only through an actual import.
+
+        Returns None when the base name was never imported in this
+        file — a local variable that happens to be called ``random``
+        or ``time`` must not trigger module-level rules.
+        """
+        dotted = dotted_name(func)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        if head not in self.modules and head not in self.members:
+            return None
+        return self.resolve_call(func)

@@ -1,0 +1,255 @@
+"""flatlint core: source model, suppressions, rule driver, reporters.
+
+The engine is deliberately small: it owns file collection, AST
+parsing, ``# flatlint: disable=FT0xx`` suppression bookkeeping, and
+the two-phase rule protocol (per-file ``check_file`` then cross-file
+``finalize``).  Everything domain-specific lives in the rule modules
+under :mod:`tools.flatlint.rules`.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+#: Suppression marker: ``# flatlint: disable=FT001`` or
+#: ``# flatlint: disable=FT001,FT003`` or ``# flatlint: disable=all``
+#: on the offending line.
+_SUPPRESS_RE = re.compile(
+    r"#\s*flatlint:\s*disable=([A-Za-z0-9_*,\s]+)"
+)
+
+#: Code used for files the engine itself rejects (syntax errors).
+#: Not suppressable and not part of the rule registry.
+PARSE_ERROR_CODE = "FT000"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One lint violation, sortable into report order."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name for *path* (``src/repro/x.py`` -> ``repro.x``).
+
+    Anything under a ``src`` directory is rooted there; other files
+    (tests, tools, benchmarks) are rooted at the repo-relative path, so
+    layering rules can tell library modules from everything else.
+    """
+    parts = list(path.parts)
+    if "src" in parts:
+        parts = parts[len(parts) - parts[::-1].index("src"):]
+    dotted = ".".join(parts)
+    if dotted.endswith(".py"):
+        dotted = dotted[:-3]
+    if dotted.endswith(".__init__"):
+        dotted = dotted[: -len(".__init__")]
+    return dotted
+
+
+def parse_suppressions(lines: Sequence[str]) -> Dict[int, Set[str]]:
+    """Map 1-based line numbers to the codes suppressed on that line."""
+    out: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        codes = {
+            token.strip().upper()
+            for token in match.group(1).split(",")
+            if token.strip()
+        }
+        if codes:
+            out[lineno] = codes
+    return out
+
+
+@dataclass
+class SourceFile:
+    """A parsed Python file plus everything rules need to know about it."""
+
+    path: Path
+    display: str
+    module: str
+    source: str
+    tree: ast.Module
+    lines: List[str]
+    suppressions: Dict[int, Set[str]]
+
+    @classmethod
+    def load(cls, path: Path) -> "SourceFile":
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        lines = source.splitlines()
+        return cls(
+            path=path,
+            display=str(path),
+            module=module_name_for(path),
+            source=source,
+            tree=tree,
+            lines=lines,
+            suppressions=parse_suppressions(lines),
+        )
+
+    def suppressed(self, line: int, code: str) -> bool:
+        codes = self.suppressions.get(line)
+        if not codes:
+            return False
+        return code.upper() in codes or "ALL" in codes or "*" in codes
+
+    def finding(self, node: ast.AST, code: str, message: str) -> Finding:
+        return Finding(
+            path=self.display,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=code,
+            message=message,
+        )
+
+
+@dataclass
+class Project:
+    """All files of one lint run, for cross-file (``finalize``) rules."""
+
+    files: List[SourceFile] = field(default_factory=list)
+
+    def by_module(self, dotted: str) -> Optional[SourceFile]:
+        for f in self.files:
+            if f.module == dotted:
+                return f
+        return None
+
+
+class Rule:
+    """Base class for flatlint rules.
+
+    Subclasses set ``code`` (stable ``FT0xx`` identifier), ``name``
+    (short slug) and ``summary`` (one line for ``--list-rules``), and
+    implement :meth:`check_file`; cross-file rules also implement
+    :meth:`finalize`, called once after every file was checked.  Rules
+    are instantiated fresh per run, so per-run state lives on ``self``.
+    """
+
+    code: str = ""
+    name: str = ""
+    summary: str = ""
+
+    def check_file(self, f: SourceFile) -> Iterable[Finding]:
+        return ()
+
+    def finalize(self, project: Project) -> Iterable[Finding]:
+        return ()
+
+
+def collect_files(paths: Sequence[str]) -> List[Path]:
+    """Expand *paths* (files or directories) into sorted ``.py`` files."""
+    out: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            out.append(path)
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {raw}")
+    seen: Set[Path] = set()
+    unique: List[Path] = []
+    for path in out:
+        if path not in seen:
+            seen.add(path)
+            unique.append(path)
+    return unique
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rules: Sequence[Rule],
+    select: Optional[Set[str]] = None,
+) -> tuple[List[Finding], Project]:
+    """Run *rules* over every file under *paths*; return sorted findings."""
+    active = [
+        r for r in rules
+        if select is None or r.code.upper() in select
+    ]
+    project = Project()
+    findings: List[Finding] = []
+    for path in collect_files(paths):
+        try:
+            f = SourceFile.load(path)
+        except SyntaxError as exc:
+            findings.append(Finding(
+                path=str(path),
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                code=PARSE_ERROR_CODE,
+                message=f"cannot parse file: {exc.msg}",
+            ))
+            continue
+        project.files.append(f)
+        for rule in active:
+            for finding in rule.check_file(f):
+                if not f.suppressed(finding.line, finding.code):
+                    findings.append(finding)
+    for rule in active:
+        for finding in rule.finalize(project):
+            owner = next(
+                (f for f in project.files if f.display == finding.path), None)
+            if owner is not None and owner.suppressed(finding.line,
+                                                      finding.code):
+                continue
+            findings.append(finding)
+    return sorted(findings), project
+
+
+def render_text(findings: Sequence[Finding], files_checked: int) -> str:
+    lines = [finding.format() for finding in findings]
+    if findings:
+        counts: Dict[str, int] = {}
+        for finding in findings:
+            counts[finding.code] = counts.get(finding.code, 0) + 1
+        breakdown = ", ".join(
+            f"{code}: {n}" for code, n in sorted(counts.items()))
+        lines.append(
+            f"flatlint: {len(findings)} finding(s) in {files_checked} "
+            f"file(s) ({breakdown})"
+        )
+    else:
+        lines.append(f"flatlint: {files_checked} file(s) clean")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], files_checked: int) -> str:
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.code] = counts.get(finding.code, 0) + 1
+    return json.dumps(
+        {
+            "files_checked": files_checked,
+            "findings": [finding.as_dict() for finding in findings],
+            "counts": counts,
+        },
+        indent=2,
+        sort_keys=True,
+    )

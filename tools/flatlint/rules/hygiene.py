@@ -1,0 +1,176 @@
+"""FT003 — correctness hygiene.
+
+Three bug classes this codebase has actually hit (or nearly hit):
+
+* **mutable default arguments** — the classic shared-state trap;
+* **broad/bare ``except`` that swallows** — a handler catching
+  ``Exception`` (or everything) whose body neither re-raises nor
+  records the failure (logging, ``warnings``, ``print`` or a
+  telemetry call) hides real faults; narrow the type or emit a
+  registered telemetry event;
+* **float equality on capacity-like quantities** — ``==`` on
+  capacities/utilizations/rates is numerically fragile; compare with
+  a tolerance (``math.isclose``) instead.  Comparisons against a
+  literal ``0``/``0.0`` sentinel are allowed — exact zero is the
+  conventional "untouched default" check.  This sub-check applies to
+  library code (``repro.*``) only: tests routinely assert exact
+  IEEE-representable fractions on purpose.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..astutil import dotted_name
+from ..engine import Finding, Rule, SourceFile
+from . import register
+
+_BROAD_TYPES = {"Exception", "BaseException"}
+
+#: Terminal attribute names that count as "the failure was recorded".
+_HANDLING_CALLS = {
+    "event", "incr", "observe", "set_gauge", "emit",
+    "print", "warn", "warning", "error", "exception", "critical",
+    "info", "debug", "log",
+}
+
+#: Call bases that are logging/diagnostic facilities by construction.
+_HANDLING_BASES = {"logging", "logger", "log", "warnings", "obs", "trace"}
+
+#: Identifier tokens that mark a float-valued network quantity.
+_FLOATY_TOKENS = {
+    "capacity", "utilization", "util", "throughput", "rate", "rates",
+    "load", "fraction", "bandwidth",
+}
+
+_MUTABLE_CALLS = {"list", "dict", "set", "defaultdict", "deque"}
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        dotted = dotted_name(node.func)
+        if dotted is not None and dotted.split(".")[-1] in _MUTABLE_CALLS:
+            return True
+    return False
+
+
+def _broad_handler_type(handler: ast.ExceptHandler) -> Optional[str]:
+    """'bare', 'Exception', 'BaseException', or None when narrow."""
+    if handler.type is None:
+        return "bare"
+    nodes = (handler.type.elts if isinstance(handler.type, ast.Tuple)
+             else [handler.type])
+    for node in nodes:
+        dotted = dotted_name(node)
+        if dotted is not None and dotted.split(".")[-1] in _BROAD_TYPES:
+            return dotted.split(".")[-1]
+    return None
+
+
+def _records_failure(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(ast.Module(body=handler.body, type_ignores=[])):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            parts = dotted.split(".")
+            if parts[-1] in _HANDLING_CALLS or parts[0] in _HANDLING_BASES:
+                return True
+    return False
+
+
+def _floaty_terminal(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        terminal = node.id
+    elif isinstance(node, ast.Attribute):
+        terminal = node.attr
+    else:
+        return None
+    tokens = terminal.lower().split("_")
+    for token in tokens:
+        if token in _FLOATY_TOKENS or token.rstrip("s") in _FLOATY_TOKENS:
+            return terminal
+    return None
+
+
+def _is_exempt_comparand(node: ast.AST) -> bool:
+    """Literal zero sentinels, strings, bools and None don't count."""
+    if not isinstance(node, ast.Constant):
+        return False
+    value = node.value
+    if value is None or isinstance(value, (str, bool)):
+        return True
+    return isinstance(value, (int, float)) and value == 0
+
+
+@register
+class HygieneRule(Rule):
+    code = "FT003"
+    name = "hygiene"
+    summary = ("mutable default arguments, broad excepts that swallow "
+               "silently, float == on capacity-like quantities")
+
+    def check_file(self, f: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(f.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                yield from self._check_defaults(f, node)
+            elif isinstance(node, ast.ExceptHandler):
+                yield from self._check_handler(f, node)
+            elif isinstance(node, ast.Compare) and \
+                    f.module.startswith("repro."):
+                yield from self._check_float_eq(f, node)
+
+    def _check_defaults(self, f: SourceFile, node: ast.AST
+                        ) -> Iterator[Finding]:
+        args = node.args
+        defaults = list(args.defaults)
+        defaults.extend(d for d in args.kw_defaults if d is not None)
+        for default in defaults:
+            if _is_mutable_default(default):
+                yield f.finding(
+                    default, self.code,
+                    "mutable default argument is shared across calls — "
+                    "default to None and create the container inside "
+                    "the function",
+                )
+
+    def _check_handler(self, f: SourceFile,
+                       handler: ast.ExceptHandler) -> Iterator[Finding]:
+        broad = _broad_handler_type(handler)
+        if broad is None or _records_failure(handler):
+            return
+        caught = ("bare 'except:'" if broad == "bare"
+                  else f"'except {broad}:'")
+        yield f.finding(
+            handler, self.code,
+            f"{caught} swallows the failure without re-raising or "
+            "recording it — narrow the exception type, or emit a "
+            "registered telemetry event / log before continuing",
+        )
+
+    def _check_float_eq(self, f: SourceFile,
+                        node: ast.Compare) -> Iterator[Finding]:
+        operands = [node.left] + list(node.comparators)
+        for index, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            left, right = operands[index], operands[index + 1]
+            for side, other in ((left, right), (right, left)):
+                terminal = _floaty_terminal(side)
+                if terminal is None or _is_exempt_comparand(other):
+                    continue
+                yield f.finding(
+                    node, self.code,
+                    f"float equality on {terminal!r} — capacities and "
+                    "utilizations accumulate rounding error; compare "
+                    "with math.isclose(...) (exact 0 sentinels are "
+                    "exempt)",
+                )
+                break

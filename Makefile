@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench figures examples lint clean telemetry-smoke monitor-smoke chaos-smoke
+.PHONY: install test bench bench-session bench-smoke bench-compare figures examples lint clean telemetry-smoke monitor-smoke chaos-smoke
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -16,6 +16,25 @@ test-fast:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
+# Record a durable perf session: full bench suite -> repo-root
+# BENCH_<seq>.json with environment fingerprint + registry counters.
+bench-session:
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench
+
+# Tiny bench smoke for CI: two fast benches -> BENCH_smoke.json, then
+# prove the comparator wiring with a self-compare (must exit 0).  The
+# file is left behind for the CI artifact upload; `make clean` removes it.
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench --select "fig5 or ksp" --out BENCH_smoke.json --label smoke
+	$(PYTHON) -m tools.perfreport compare BENCH_smoke.json BENCH_smoke.json
+
+# Judge the newest BENCH_<seq>.json against its predecessor; override
+# either side with BASE=... NEW=... (exit 1 on regression).
+bench-compare:
+	@$(PYTHON) -m tools.perfreport compare \
+		$${BASE:-$$(ls BENCH_[0-9]*.json | sort -V | tail -2 | head -1)} \
+		$${NEW:-$$(ls BENCH_[0-9]*.json | sort -V | tail -1)}
+
 # Static analysis: the domain-aware flatlint pass (FT001-FT004, see
 # docs/static-analysis.md) plus the mypy typing gate configured in
 # pyproject.toml.  mypy is skipped with a notice when not installed
@@ -28,11 +47,15 @@ lint:
 		echo "lint: mypy not installed - skipping the typing gate (pip install -e .[dev])"; \
 	fi
 
-# Run one small experiment with telemetry enabled and validate the JSONL
-# stream against the wire contract in docs/observability.md.
+# Run one small experiment with telemetry enabled, validate the JSONL
+# stream against the wire contract in docs/observability.md, and prove
+# the span trace round-trips into a profile tree + folded stacks.
 telemetry-smoke:
+	rm -f telemetry-smoke.jsonl
 	PYTHONPATH=src $(PYTHON) -m repro.cli --telemetry=telemetry-smoke.jsonl fig5 --ks 4
 	$(PYTHON) tools/check_telemetry.py telemetry-smoke.jsonl --min-names 12
+	$(PYTHON) -m tools.perfreport profile telemetry-smoke.jsonl
+	$(PYTHON) -m tools.perfreport flamegraph telemetry-smoke.jsonl > /dev/null
 	rm -f telemetry-smoke.jsonl
 
 # Exercise the network monitoring plane on a k=4 all-to-all and validate
@@ -66,4 +89,5 @@ examples:
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis
+	rm -f BENCH_smoke.json telemetry-smoke.jsonl
 	find . -name __pycache__ -type d -exec rm -rf {} +

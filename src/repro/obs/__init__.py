@@ -13,6 +13,12 @@ Three pieces (see ``docs/observability.md`` for the metric catalog):
   is a single attribute check, so the permanent instrumentation costs
   nothing in ordinary runs.
 
+Spans carry ``span_id``/``parent_id`` trace context; feed a recorded
+JSONL trace to :class:`~repro.obs.perf.Profile` for per-name self /
+cumulative time, the critical path, and flamegraph export, and see
+:mod:`repro.obs.bench` for durable ``BENCH_*.json`` perf sessions
+(``docs/performance.md``).
+
 Typical use::
 
     from repro import obs
@@ -43,7 +49,9 @@ from repro.obs.sinks import (
     StderrSink,
     StreamSink,
 )
+from repro.obs.perf import NameStats, Profile, SpanNode
 from repro.obs.trace import (
+    TRACEMALLOC_ENV,
     Span,
     current_sink,
     disable,
@@ -65,11 +73,15 @@ __all__ = [
     "Histogram",
     "MemorySink",
     "MetricsRegistry",
+    "NameStats",
     "NullSink",
+    "Profile",
     "Sink",
     "Span",
+    "SpanNode",
     "StderrSink",
     "StreamSink",
+    "TRACEMALLOC_ENV",
     "Timer",
     "current_sink",
     "disable",

@@ -3,8 +3,10 @@
 Every telemetry line a sink emits is a flat JSON object carrying
 ``ts`` (number), ``name`` (non-empty string), ``kind`` (one of
 :data:`KINDS`), and either ``value`` (number) or ``duration_s``
-(non-negative number).  Span events additionally carry ``path`` and
-``depth``; the monitor's link events carry per-kind fields; one-off
+(non-negative number).  Span events additionally carry
+:data:`SPAN_FIELDS` — ``path``, ``depth``, and the trace context
+``span_id``/``parent_id`` that lets ``repro.obs.perf`` rebuild the
+call tree; the monitor's link events carry per-kind fields; one-off
 ``event`` lines must use a name registered in
 :data:`KNOWN_EVENT_NAMES` and carry that name's required attributes
 (:data:`EVENT_FIELDS`).
@@ -37,6 +39,17 @@ KINDS: FrozenSet[str] = frozenset({
     "link_sample", "link_down", "link_up",
 })
 
+#: Required fields on every ``kind == "span"`` event, beyond the
+#: universal ``ts``/``name``/``kind``/``duration_s``.  ``span_id`` is a
+#: positive integer unique within a run (deterministic per-process
+#: counter, reset by ``repro.obs.enable``); ``parent_id`` is the
+#: enclosing span's id or ``null`` at the root.  Spans may additionally
+#: carry free-form call-site attributes and, under tracemalloc
+#: accounting, a non-negative numeric ``mem_peak_kb``.
+SPAN_FIELDS: FrozenSet[str] = frozenset({
+    "path", "depth", "span_id", "parent_id",
+})
+
 #: Required attributes per registered one-off event name (kind ==
 #: ``event``).  The keys of this mapping *are* the event-name registry:
 #: an emit site using a name absent here fails both the runtime
@@ -52,6 +65,7 @@ EVENT_FIELDS: Mapping[str, FrozenSet[str]] = {
     "experiments.degradation.solver_failure": frozenset(
         {"topology", "fraction", "draw"}),
     "core.scaling.candidate_skipped": frozenset({"candidate", "reason"}),
+    "perf.bench_session": frozenset({"out", "benches"}),
 }
 
 #: The contract's one-off event names — derived from
@@ -148,6 +162,12 @@ def _check_candidate_skipped(event: Mapping[str, Any],
     _check_named(event, problems, "candidate_skipped", "reason")
 
 
+def _check_bench_session(event: Mapping[str, Any],
+                         problems: List[str]) -> None:
+    _check_named(event, problems, "bench_session", "out")
+    _check_counted(event, problems, "bench_session", "benches")
+
+
 #: Per-name value-level schema checks for registered one-off events.
 EVENT_CHECKS: Mapping[str, Callable[[Mapping[str, Any], List[str]], None]] = {
     "core.profiling.skipped_candidate": _check_skipped_candidate,
@@ -157,6 +177,7 @@ EVENT_CHECKS: Mapping[str, Callable[[Mapping[str, Any], List[str]], None]] = {
     "flowsim.flow_rerouted": _check_flow_rerouted,
     "experiments.degradation.solver_failure": _check_solver_failure,
     "core.scaling.candidate_skipped": _check_candidate_skipped,
+    "perf.bench_session": _check_bench_session,
 }
 
 
@@ -215,6 +236,32 @@ def check_event(event: Mapping[str, Any]) -> List[str]:
             problems.append("span missing 'path'")
         if not isinstance(event.get("depth"), int):
             problems.append("span missing integer 'depth'")
+        span_id = event.get("span_id")
+        if not isinstance(span_id, int) or isinstance(span_id, bool):
+            problems.append("span missing integer 'span_id'")
+        elif span_id < 1:
+            problems.append(f"span 'span_id' must be >= 1: {span_id}")
+        if "parent_id" not in event:
+            problems.append("span missing 'parent_id' (null at the root)")
+        else:
+            parent_id = event.get("parent_id")
+            if parent_id is not None and (
+                    not isinstance(parent_id, int)
+                    or isinstance(parent_id, bool) or parent_id < 1):
+                problems.append(
+                    f"span 'parent_id' must be null or an integer >= 1: "
+                    f"{parent_id!r}")
+            elif (isinstance(parent_id, int)
+                    and isinstance(span_id, int)
+                    and not isinstance(parent_id, bool)
+                    and parent_id >= span_id):
+                problems.append(
+                    f"span 'parent_id' {parent_id} not below 'span_id' "
+                    f"{span_id} (parents are created first)")
+        mem = event.get("mem_peak_kb")
+        if mem is not None and (not _numeric(mem) or mem < 0):
+            problems.append(
+                f"span 'mem_peak_kb' must be a non-negative number: {mem!r}")
     elif kind == "event":
         if isinstance(name, str) and name not in KNOWN_EVENT_NAMES:
             problems.append(

@@ -103,9 +103,23 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else math.nan
 
+    def _sample_view(self) -> List[float]:
+        """Retained samples, with the true extremes folded back in.
+
+        Decimation keeps every ``_stride``-th observation, so the
+        recorded ``min``/``max`` can vanish from ``_samples`` and tail
+        quantiles (p99) would under-report.  Once decimation has
+        happened the exact extremes are appended to the view — two
+        extra points among thousands barely weight the interior ranks,
+        and ``quantile(0.0)``/``quantile(1.0)`` stay exact.
+        """
+        if self._stride == 1 or not self.count:
+            return self._samples
+        return self._samples + [self.min, self.max]
+
     def quantile(self, q: float) -> float:
         """Nearest-rank quantile over the retained samples."""
-        return nearest_rank_quantile(self._samples, q)
+        return nearest_rank_quantile(self._sample_view(), q)
 
     def snapshot(self) -> Dict[str, object]:
         return {

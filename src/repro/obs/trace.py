@@ -19,8 +19,11 @@ Design goals, in order:
 
 from __future__ import annotations
 
+import contextvars
+import os
 import time
-from typing import Dict, List, Optional, Union
+import tracemalloc
+from typing import Dict, Optional, Tuple, Union
 
 from repro.obs.registry import MetricsRegistry
 from repro.obs.sinks import NullSink, Sink
@@ -28,17 +31,33 @@ from repro.obs.sinks import NullSink, Sink
 #: The process-global registry all helpers write into.
 registry = MetricsRegistry()
 
+#: Environment switch for per-span memory accounting (see
+#: :func:`enable`); any value other than ``""``/``"0"`` turns it on.
+TRACEMALLOC_ENV = "REPRO_TRACEMALLOC"
+
+#: The ambient span stack: ``(name, span_id)`` frames, innermost last.
+#: A :mod:`contextvars` variable (not a plain list on ``_state``) so
+#: parentage stays correct per-thread and per-async-task.
+_SPAN_STACK: "contextvars.ContextVar[Tuple[Tuple[str, int], ...]]" = \
+    contextvars.ContextVar("repro_obs_span_stack", default=())
+
 
 class _State:
     """Mutable telemetry switchboard (one per process)."""
 
-    __slots__ = ("enabled", "sink", "emit_metric_events", "span_stack")
+    __slots__ = ("enabled", "sink", "emit_metric_events", "next_span_id",
+                 "trace_malloc", "_started_tracemalloc")
 
     def __init__(self) -> None:
         self.enabled = False
         self.sink: Sink = NullSink()
         self.emit_metric_events = False
-        self.span_stack: List[str] = []
+        #: Deterministic per-process span-id counter: reset to 1 by
+        #: :func:`enable`, so the same instrumented run always yields
+        #: the same ids (no wall-clock or randomness in span identity).
+        self.next_span_id = 1
+        self.trace_malloc = False
+        self._started_tracemalloc = False
 
 
 _state = _State()
@@ -50,16 +69,33 @@ def enabled() -> bool:
 
 
 def enable(sink: Optional[Sink] = None,
-           emit_metric_events: bool = False) -> None:
+           emit_metric_events: bool = False,
+           trace_malloc: Optional[bool] = None) -> None:
     """Turn telemetry on.
 
     ``sink`` receives span events (and, with ``emit_metric_events``,
     every metric update) as JSON-ready dicts; ``None`` keeps
     metrics-only collection, the cheapest enabled mode.
+
+    ``trace_malloc`` adds per-span memory accounting: each span event
+    grows a ``mem_peak_kb`` attribute, the :mod:`tracemalloc` peak over
+    the span body relative to its entry allocation level.  ``None``
+    (the default) defers to the :data:`TRACEMALLOC_ENV` environment
+    variable.  Peak tracking is process-global, so a nested span that
+    resets the peak can make an enclosing span under-report — read
+    ``mem_peak_kb`` as per-phase attribution, not an exact bound (see
+    ``docs/performance.md``).
     """
     _state.sink = sink if sink is not None else NullSink()
     _state.emit_metric_events = emit_metric_events
-    _state.span_stack = []
+    _state.next_span_id = 1
+    _SPAN_STACK.set(())
+    if trace_malloc is None:
+        trace_malloc = os.environ.get(TRACEMALLOC_ENV, "0") not in ("", "0")
+    _state.trace_malloc = trace_malloc
+    if trace_malloc and not tracemalloc.is_tracing():
+        tracemalloc.start()
+        _state._started_tracemalloc = True
     _state.enabled = True
 
 
@@ -72,7 +108,11 @@ def disable() -> None:
     finally:
         _state.sink = NullSink()
         _state.emit_metric_events = False
-        _state.span_stack = []
+        _SPAN_STACK.set(())
+        if _state._started_tracemalloc and tracemalloc.is_tracing():
+            tracemalloc.stop()
+        _state.trace_malloc = False
+        _state._started_tracemalloc = False
 
 
 def current_sink() -> Sink:
@@ -163,36 +203,53 @@ def timer(name: str) -> Union[_NullCtx, _Timer]:
 
 
 class Span:
-    """A named wall-clock phase; nests via the state's span stack.
+    """A named wall-clock phase; nests via the ambient span stack.
 
     On exit it emits one event carrying the span's ``duration_s``, its
-    slash-joined ``path`` (ancestry included) and ``depth``, plus any
-    keyword attributes given at creation, and records the duration into
-    the registry histogram ``span.<name>_s``.
+    slash-joined ``path`` (ancestry included), ``depth``, and its trace
+    context — a stable ``span_id`` (deterministic per-process counter,
+    reset on :func:`enable`) plus the ``parent_id`` of the enclosing
+    span (``None`` at the root) — plus any keyword attributes given at
+    creation, and records the duration into the registry histogram
+    ``span.<name>_s``.  The id links let ``repro.obs.perf`` rebuild the
+    exact call tree from a JSONL trace even when sibling spans share a
+    name.
     """
 
-    __slots__ = ("name", "attrs", "path", "depth", "_start")
+    __slots__ = ("name", "attrs", "path", "depth", "span_id", "parent_id",
+                 "_start", "_token", "_mem_baseline")
 
     def __init__(self, name: str, attrs: Dict[str, object]) -> None:
         self.name = name
         self.attrs = attrs
         self.path = name
         self.depth = 0
+        self.span_id = 0
+        self.parent_id: Optional[int] = None
         self._start = 0.0
+        self._token: Optional[
+            "contextvars.Token[Tuple[Tuple[str, int], ...]]"] = None
+        self._mem_baseline: Optional[int] = None
 
     def __enter__(self) -> "Span":
-        stack = _state.span_stack
+        stack = _SPAN_STACK.get()
         self.depth = len(stack)
-        self.path = "/".join(stack + [self.name])
-        stack.append(self.name)
+        self.path = "/".join([frame[0] for frame in stack] + [self.name])
+        self.span_id = _state.next_span_id
+        _state.next_span_id += 1
+        self.parent_id = stack[-1][1] if stack else None
+        self._token = _SPAN_STACK.set(stack + ((self.name, self.span_id),))
+        if _state.trace_malloc and tracemalloc.is_tracing():
+            tracemalloc.reset_peak()
+            self._mem_baseline = tracemalloc.get_traced_memory()[0]
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, exc_type: Optional[type], *exc: object) -> bool:
         duration = time.perf_counter() - self._start
-        stack = _state.span_stack
-        if stack and stack[-1] == self.name:
-            stack.pop()
+        if self._token is not None:
+            _SPAN_STACK.reset(self._token)
+            self._token = None
         if _state.enabled:
             registry.histogram(f"span.{self.name}_s").observe(duration)
             event = {
@@ -202,7 +259,12 @@ class Span:
                 "duration_s": duration,
                 "path": self.path,
                 "depth": self.depth,
+                "span_id": self.span_id,
+                "parent_id": self.parent_id,
             }
+            if self._mem_baseline is not None and tracemalloc.is_tracing():
+                peak = tracemalloc.get_traced_memory()[1]
+                event["mem_peak_kb"] = max(0, peak - self._mem_baseline) / 1024
             if exc_type is not None:
                 event["error"] = exc_type.__name__
             event.update(self.attrs)

@@ -13,6 +13,13 @@ def event(name, **attrs):
     return base
 
 
+def span_event(**over):
+    base = {"ts": 1.0, "name": "s", "kind": "span", "duration_s": 0.1,
+            "path": "s", "depth": 0, "span_id": 1, "parent_id": None}
+    base.update(over)
+    return base
+
+
 class TestRegistryConsistency:
     def test_known_names_derived_from_event_fields(self):
         assert contract.KNOWN_EVENT_NAMES == frozenset(contract.EVENT_FIELDS)
@@ -93,6 +100,94 @@ class TestCheckEvent:
             "rate": 0.0, "capacity": 0, "active_flows": 0,
         })
         assert any("zero 'capacity'" in p for p in problems)
+
+
+class TestSpanContract:
+    def test_span_fields_registry(self):
+        assert contract.SPAN_FIELDS == frozenset(
+            {"path", "depth", "span_id", "parent_id"})
+
+    def test_valid_root_span(self):
+        assert contract.check_event(span_event()) == []
+
+    def test_valid_child_span(self):
+        assert contract.check_event(
+            span_event(span_id=3, parent_id=1, path="a/s", depth=1)) == []
+
+    def test_missing_span_id(self):
+        bad = span_event()
+        del bad["span_id"]
+        problems = contract.check_event(bad)
+        assert any("'span_id'" in p for p in problems)
+
+    def test_bool_and_zero_span_id_rejected(self):
+        assert contract.check_event(span_event(span_id=True))
+        problems = contract.check_event(span_event(span_id=0))
+        assert any(">= 1" in p for p in problems)
+
+    def test_missing_parent_id_key(self):
+        bad = span_event()
+        del bad["parent_id"]
+        problems = contract.check_event(bad)
+        assert any("'parent_id'" in p for p in problems)
+
+    def test_parent_id_must_be_null_or_positive_int(self):
+        assert contract.check_event(span_event(parent_id="root"))
+        assert contract.check_event(span_event(parent_id=0))
+        assert contract.check_event(span_event(parent_id=True))
+
+    def test_parent_id_not_below_span_id(self):
+        problems = contract.check_event(span_event(span_id=2, parent_id=2))
+        assert any("parents are created first" in p for p in problems)
+
+    def test_mem_peak_kb_validation(self):
+        assert contract.check_event(span_event(mem_peak_kb=12.5)) == []
+        assert contract.check_event(span_event(mem_peak_kb=0)) == []
+        assert contract.check_event(span_event(mem_peak_kb=-1.0))
+        assert contract.check_event(span_event(mem_peak_kb="big"))
+
+    def test_recorded_spans_round_trip(self):
+        # Schema round-trip: what the tracer actually emits must pass
+        # the contract verbatim, ids and parentage included.
+        from repro import obs
+        from repro.obs.sinks import MemorySink
+
+        sink = MemorySink()
+        obs.disable()
+        obs.enable(sink)
+        try:
+            with obs.span("outer", k=4):
+                with obs.span("inner"):
+                    pass
+        finally:
+            obs.disable()
+        spans = [e for e in sink.events if e["kind"] == "span"]
+        assert len(spans) == 2
+        for span in spans:
+            assert contract.check_event(span) == [], span
+
+
+class TestBenchSessionEvent:
+    def test_registered_with_required_fields(self):
+        assert "perf.bench_session" in contract.KNOWN_EVENT_NAMES
+        assert contract.EVENT_FIELDS["perf.bench_session"] == frozenset(
+            {"out", "benches"})
+        assert "perf.bench_session" in contract.EVENT_CHECKS
+
+    def test_valid_bench_session(self):
+        assert contract.check_event(
+            event("perf.bench_session", out="BENCH_1.json",
+                  benches=12)) == []
+
+    def test_blank_out_rejected(self):
+        problems = contract.check_event(
+            event("perf.bench_session", out="   ", benches=1))
+        assert any("'out'" in p for p in problems)
+
+    def test_negative_benches_rejected(self):
+        problems = contract.check_event(
+            event("perf.bench_session", out="BENCH_1.json", benches=-1))
+        assert any("'benches'" in p for p in problems)
 
 
 class TestCheckLineAndStream:

@@ -83,6 +83,39 @@ class TestHistogram:
         # Decimated quantiles stay in the right neighborhood.
         assert abs(h.quantile(0.5) - n / 2) < n * 0.1
 
+    def test_decimated_view_keeps_min_and_max(self):
+        # 10x max_samples forces several stride doublings; the extreme
+        # quantiles must still be the true observed extremes.
+        h = Histogram("x", max_samples=64)
+        n = 640
+        for v in range(n):
+            h.observe(float(v))
+        assert h._stride > 1
+        assert h.quantile(0.0) == 0.0
+        assert h.quantile(1.0) == float(n - 1)
+
+    def test_decimated_max_survives_when_observed_first(self):
+        # Regression test for the decimation bias: a max observed early
+        # is the most likely sample to be dropped by [::2] halving, so
+        # p99/max silently under-reported before min/max were folded
+        # back into the quantile view.
+        h = Histogram("x", max_samples=64)
+        n = 1000
+        for v in reversed(range(n)):
+            h.observe(float(v))
+        assert h.quantile(1.0) == float(n - 1)
+        assert h.quantile(0.0) == 0.0
+        assert h.quantile(0.99) >= 0.9 * (n - 1)
+
+    def test_decimated_snapshot_p99_sees_the_tail(self):
+        h = Histogram("x", max_samples=64)
+        n = 640
+        for v in range(n):
+            h.observe(float(v))
+        snap = h.snapshot()
+        assert snap["max"] == float(n - 1)
+        assert snap["p99"] >= 0.9 * (n - 1)
+
     def test_snapshot_shape(self):
         h = Histogram("x")
         h.observe(2.0)

@@ -109,6 +109,94 @@ class TestSpans:
         assert event["value"] == 1
 
 
+class TestSpanContext:
+    def test_ids_deterministic_and_reset_on_enable(self, clean_obs):
+        def record():
+            sink = MemorySink()
+            obs.enable(sink)
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    pass
+            with obs.span("second"):
+                pass
+            obs.disable()
+            return [(e["name"], e["span_id"], e["parent_id"])
+                    for e in sink.events if e["kind"] == "span"]
+
+        first = record()
+        # Exit order: inner closes first; ids follow entry order.
+        assert first == [("inner", 2, 1), ("outer", 1, None),
+                         ("second", 3, None)]
+        assert record() == first  # counter resets on enable()
+
+    def test_sibling_spans_get_distinct_ids(self, memory_sink):
+        with obs.span("parent"):
+            with obs.span("child"):
+                pass
+            with obs.span("child"):
+                pass
+        spans = [e for e in memory_sink.events if e["kind"] == "span"]
+        parent = next(s for s in spans if s["name"] == "parent")
+        children = [s for s in spans if s["name"] == "child"]
+        assert len({c["span_id"] for c in children}) == 2
+        assert all(c["parent_id"] == parent["span_id"] for c in children)
+        assert parent["parent_id"] is None
+
+    def test_parent_id_always_below_span_id(self, memory_sink):
+        with obs.span("a"):
+            with obs.span("b"):
+                with obs.span("c"):
+                    pass
+        for event in memory_sink.events:
+            if event["kind"] == "span" and event["parent_id"] is not None:
+                assert event["parent_id"] < event["span_id"]
+
+
+class TestTracemalloc:
+    def test_mem_peak_recorded_when_enabled(self, clean_obs):
+        import tracemalloc
+
+        from repro.obs import contract
+
+        sink = MemorySink()
+        obs.enable(sink, trace_malloc=True)
+        with obs.span("alloc"):
+            blob = [0] * 50_000
+            del blob
+        obs.disable()
+        assert not tracemalloc.is_tracing()  # we started it, we stop it
+        (event,) = [e for e in sink.events if e["kind"] == "span"]
+        assert event["mem_peak_kb"] >= 100  # the 50k-slot list is ~400 kB
+        assert contract.check_event(event) == []
+
+    def test_no_mem_field_by_default(self, memory_sink):
+        with obs.span("x"):
+            pass
+        (event,) = [e for e in memory_sink.events if e["kind"] == "span"]
+        assert "mem_peak_kb" not in event
+
+    def test_env_var_opt_in(self, clean_obs, monkeypatch):
+        monkeypatch.setenv(obs.TRACEMALLOC_ENV, "1")
+        sink = MemorySink()
+        obs.enable(sink)
+        with obs.span("x"):
+            pass
+        obs.disable()
+        (event,) = [e for e in sink.events if e["kind"] == "span"]
+        assert event["mem_peak_kb"] >= 0
+
+    def test_preexisting_tracing_left_running(self, clean_obs):
+        import tracemalloc
+
+        tracemalloc.start()
+        try:
+            obs.enable(MemorySink(), trace_malloc=True)
+            obs.disable()
+            assert tracemalloc.is_tracing()  # not ours to stop
+        finally:
+            tracemalloc.stop()
+
+
 class TestSinks:
     def test_disable_resets_to_null_sink(self, memory_sink):
         obs.disable()

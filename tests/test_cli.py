@@ -250,6 +250,45 @@ class TestVersionAndInfo:
             assert package in line
 
 
+class TestBenchCommand:
+    def test_info_reports_perf_capability(self, capsys):
+        code, out = run_cli(capsys, "info")
+        assert code == 0
+        assert "perf: span-tree profiler" in out
+        assert "BENCH_*.json" in out
+
+    def test_bench_missing_dir_exits_two(self, capsys, tmp_path):
+        code = main(["bench", "--benchmarks", str(tmp_path / "nope")])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "no benchmark directory" in captured.err
+
+    def test_bench_records_session(self, capsys, tmp_path):
+        import json
+
+        bench_dir = tmp_path / "benchmarks"
+        bench_dir.mkdir()
+        (bench_dir / "test_bench_tiny.py").write_text(
+            "def test_bench_tiny(benchmark):\n"
+            "    benchmark.pedantic(sum, args=(range(100),),\n"
+            "                       rounds=1, iterations=1)\n"
+        )
+        out_path = tmp_path / "BENCH_unit.json"
+        code, out = run_cli(
+            capsys, "bench", "--benchmarks", str(bench_dir),
+            "--out", str(out_path), "--label", "unit",
+        )
+        assert code == 0
+        assert "wrote" in out
+        session = json.loads(out_path.read_text())
+        assert session["schema"] == 1
+        assert session["label"] == "unit"
+        entry = session["benchmarks"]["test_bench_tiny.py::test_bench_tiny"]
+        assert entry["wall_s"] >= 0
+        assert entry["metrics"] == {}
+        assert session["environment"]["python"]
+
+
 class TestTelemetry:
     def test_disabled_run_prints_no_telemetry(self, capsys):
         _code, out = run_cli(capsys, "cost", "--ks", "8")

@@ -1,0 +1,234 @@
+"""Tests for the bench regression gate and perfreport CLI.
+
+The comparator is the thing that keeps BENCH_*.json honest, so it is
+proven here against fixture sessions: a self-compare must pass, an
+injected 10x slowdown must fail with exit code 1, and schema garbage
+must exit 2 — the flatlint exit-code convention.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from tools.perfreport import (
+    DEFAULT_MIN_RUNTIME_S,
+    DEFAULT_TOLERANCE,
+    compare_sessions,
+    render_json,
+    render_text,
+)
+from tools.perfreport.__main__ import main
+
+
+def make_session(walls, label="bench", **env_overrides):
+    """A minimal schema-valid BENCH session with the given wall times."""
+    environment = {
+        "python": "3.11.7", "implementation": "CPython",
+        "platform": "Linux-test", "machine": "x86_64", "cpu_count": 8,
+        "networkx": "3.6.1", "numpy": None, "scipy": None,
+        "repro": "1.0.0", "git_commit": None, "git_dirty": None,
+    }
+    environment.update(env_overrides)
+    return {
+        "schema": 1,
+        "label": label,
+        "ts": 1754500000.0,
+        "environment": environment,
+        "benchmarks": {
+            key: {"wall_s": wall, "mean_s": wall, "stddev_s": 0.0,
+                  "rounds": 1, "metrics": {}}
+            for key, wall in walls.items()
+        },
+    }
+
+
+class TestCompareSessions:
+    def test_self_compare_is_clean(self):
+        session = make_session({"a.py::t1": 0.5, "a.py::t2": 1.25})
+        comparison = compare_sessions(session, session)
+        assert comparison.exit_code == 0
+        assert {d.status for d in comparison.deltas} == {"ok"}
+        assert comparison.environment_drift == []
+
+    def test_injected_10x_slowdown_is_a_regression(self):
+        base = make_session({"a.py::t": 0.5})
+        slow = make_session({"a.py::t": 5.0})
+        comparison = compare_sessions(base, slow)
+        assert [d.status for d in comparison.deltas] == ["regression"]
+        assert comparison.deltas[0].ratio == pytest.approx(10.0)
+        assert comparison.exit_code == 1
+
+    def test_below_floor_never_judged(self):
+        base = make_session({"a.py::t": 0.0001})
+        new = make_session({"a.py::t": 0.004})  # 40x, but both < 5 ms
+        comparison = compare_sessions(base, new)
+        assert [d.status for d in comparison.deltas] == ["below-floor"]
+        assert comparison.exit_code == 0
+
+    def test_floor_applies_only_when_both_sides_are_under(self):
+        base = make_session({"a.py::t": 0.001})
+        new = make_session({"a.py::t": 0.5})  # new side is well over
+        comparison = compare_sessions(base, new)
+        assert [d.status for d in comparison.deltas] == ["regression"]
+
+    def test_added_and_removed(self):
+        base = make_session({"old.py::t": 0.5})
+        new = make_session({"new.py::t": 0.5})
+        statuses = {d.key: d.status
+                    for d in compare_sessions(base, new).deltas}
+        assert statuses == {"new.py::t": "added", "old.py::t": "removed"}
+
+    def test_improvement_does_not_fail_the_gate(self):
+        comparison = compare_sessions(make_session({"a.py::t": 1.0}),
+                                      make_session({"a.py::t": 0.5}))
+        assert [d.status for d in comparison.deltas] == ["improvement"]
+        assert comparison.exit_code == 0
+
+    def test_within_default_tolerance_is_ok(self):
+        comparison = compare_sessions(make_session({"a.py::t": 1.0}),
+                                      make_session({"a.py::t": 1.2}))
+        assert [d.status for d in comparison.deltas] == ["ok"]
+
+    def test_custom_tolerance_tightens_the_gate(self):
+        comparison = compare_sessions(
+            make_session({"a.py::t": 1.0}), make_session({"a.py::t": 1.2}),
+            tolerance=0.10)
+        assert [d.status for d in comparison.deltas] == ["regression"]
+
+    def test_environment_drift_reported(self):
+        base = make_session({"a.py::t": 1.0})
+        new = make_session({"a.py::t": 1.0}, python="3.12.1", cpu_count=4)
+        drift = "\n".join(compare_sessions(base, new).environment_drift)
+        assert "python" in drift and "cpu_count" in drift
+        assert "3.12.1" in drift
+
+    def test_defaults_are_documented_values(self):
+        assert DEFAULT_TOLERANCE == 0.25
+        assert DEFAULT_MIN_RUNTIME_S == 0.005
+
+
+class TestRenderers:
+    def test_text_orders_regressions_first_and_summarizes(self):
+        base = make_session({"a.py::fast": 0.5, "b.py::slow": 0.5})
+        new = make_session({"a.py::fast": 0.5, "b.py::slow": 5.0},
+                           python="3.12.0")
+        comparison = compare_sessions(base, new)
+        text = render_text(comparison)
+        lines = text.splitlines()
+        assert "environment drift" in text
+        first_status_line = next(l for l in lines if l.startswith(
+            ("regression", "ok")))
+        assert first_status_line.startswith("regression")
+        assert "1 regression(s) across 2 judged bench(es)" in lines[-1]
+
+    def test_json_shape(self):
+        comparison = compare_sessions(make_session({"a.py::t": 0.5}),
+                                      make_session({"a.py::t": 5.0}))
+        document = render_json(comparison)
+        assert document["regressions"] == 1
+        (delta,) = document["deltas"]
+        assert delta["status"] == "regression"
+        assert delta["ratio"] == pytest.approx(10.0)
+        json.dumps(document)  # must be JSON-serializable as-is
+
+
+def write_session(tmp_path, name, session):
+    path = tmp_path / name
+    path.write_text(json.dumps(session) + "\n", encoding="utf-8")
+    return str(path)
+
+
+class TestCompareCli:
+    def test_self_compare_exits_zero(self, tmp_path, capsys):
+        path = write_session(tmp_path, "BENCH_1.json",
+                             make_session({"a.py::t": 0.5}))
+        assert main(["compare", path, path]) == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, tmp_path, capsys):
+        base = write_session(tmp_path, "BENCH_1.json",
+                             make_session({"a.py::t": 0.5}))
+        slow = write_session(tmp_path, "BENCH_2.json",
+                             make_session({"a.py::t": 5.0}))
+        assert main(["compare", base, slow]) == 1
+        assert "regression" in capsys.readouterr().out
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        path = write_session(tmp_path, "BENCH_1.json",
+                             make_session({"a.py::t": 0.5}))
+        assert main(["compare", str(tmp_path / "nope.json"), path]) == 2
+        assert "perfreport:" in capsys.readouterr().err
+
+    def test_schema_violation_exits_two(self, tmp_path, capsys):
+        good = write_session(tmp_path, "BENCH_1.json",
+                             make_session({"a.py::t": 0.5}))
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text('{"schema": 99}\n', encoding="utf-8")
+        assert main(["compare", good, str(bad)]) == 2
+        assert "schema" in capsys.readouterr().err
+
+    def test_json_format_parses(self, tmp_path, capsys):
+        path = write_session(tmp_path, "BENCH_1.json",
+                             make_session({"a.py::t": 0.5}))
+        assert main(["compare", path, path, "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["regressions"] == 0
+
+    def test_no_subcommand_exits_two(self, capsys):
+        assert main([]) == 2
+        assert "compare" in capsys.readouterr().out
+
+
+def write_trace(tmp_path):
+    events = [
+        {"ts": 1.0, "name": "convert", "kind": "span", "duration_s": 0.25,
+         "path": "cli/convert", "depth": 1, "span_id": 2, "parent_id": 1},
+        {"ts": 1.0, "name": "cli", "kind": "span", "duration_s": 1.0,
+         "path": "cli", "depth": 0, "span_id": 1, "parent_id": None},
+    ]
+    path = tmp_path / "run.jsonl"
+    path.write_text("\n".join(json.dumps(e) for e in events) + "\n",
+                    encoding="utf-8")
+    return str(path)
+
+
+class TestProfileCli:
+    def test_profile_text_report(self, tmp_path, capsys):
+        assert main(["profile", write_trace(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 spans, 1 roots" in out
+        assert "critical path:" in out
+
+    def test_profile_json_report(self, tmp_path, capsys):
+        assert main(["profile", write_trace(tmp_path),
+                     "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["spans"] == 2
+        assert [n["name"] for n in document["critical_path"]] == [
+            "cli", "convert"]
+
+    def test_flamegraph_stdout(self, tmp_path, capsys):
+        assert main(["flamegraph", write_trace(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cli 750000" in out
+        assert "cli;convert 250000" in out
+
+    def test_flamegraph_out_file(self, tmp_path, capsys):
+        folded = tmp_path / "run.folded"
+        assert main(["flamegraph", write_trace(tmp_path),
+                     "--out", str(folded)]) == 0
+        assert "cli;convert 250000" in folded.read_text()
+
+    def test_empty_trace_exits_two(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("", encoding="utf-8")
+        assert main(["profile", str(empty)]) == 2
+        assert "no span events" in capsys.readouterr().err
+
+    def test_garbage_trace_exits_two(self, tmp_path, capsys):
+        garbage = tmp_path / "bad.jsonl"
+        garbage.write_text("{not json\n", encoding="utf-8")
+        assert main(["flamegraph", str(garbage)]) == 2
+        assert "not valid JSONL" in capsys.readouterr().err

@@ -9,8 +9,9 @@ module scope is not.
 
 A second sub-check guards :mod:`repro.obs` internals: outside the obs
 package itself, only the public facade (``repro.obs``) and its
-published submodules (``sinks``, ``stats``, ``contract``) may be
-imported — ``repro.obs.trace`` / ``registry`` / ``render`` are
+published submodules (``sinks``, ``stats``, ``contract``, ``perf``,
+``bench``) may be imported — ``repro.obs.trace`` / ``registry`` /
+``render`` are
 implementation details.  Both checks apply to ``repro.*`` modules
 only; tests and tools may poke wherever they need.
 """
@@ -54,7 +55,8 @@ ALLOWED: Dict[str, FrozenSet[str]] = {
 
 #: repro.obs submodules that are public API; everything else is
 #: internal to the obs package.
-PUBLIC_OBS_SUBMODULES = frozenset({"sinks", "stats", "contract"})
+PUBLIC_OBS_SUBMODULES = frozenset({
+    "sinks", "stats", "contract", "perf", "bench"})
 
 
 def _package_of(module: str) -> str:

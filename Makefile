@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-session bench-smoke bench-compare figures examples lint clean telemetry-smoke monitor-smoke chaos-smoke
+.PHONY: install test bench bench-session bench-smoke bench-compare figures examples lint clean telemetry-smoke monitor-smoke chaos-smoke health-smoke
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -35,7 +35,7 @@ bench-compare:
 		$${BASE:-$$(ls BENCH_[0-9]*.json | sort -V | tail -2 | head -1)} \
 		$${NEW:-$$(ls BENCH_[0-9]*.json | sort -V | tail -1)}
 
-# Static analysis: the domain-aware flatlint pass (FT001-FT004, see
+# Static analysis: the domain-aware flatlint pass (FT001-FT005, see
 # docs/static-analysis.md) plus the mypy typing gate configured in
 # pyproject.toml.  mypy is skipped with a notice when not installed
 # (it is in the `dev` extra); flatlint always runs.
@@ -77,6 +77,22 @@ chaos-smoke:
 	cmp chaos-smoke-a.txt chaos-smoke-b.txt
 	rm -f chaos-smoke.jsonl chaos-smoke-a.txt chaos-smoke-b.txt
 
+# Record a hotspot run, then judge it through the fabric health plane:
+# exactly the link_hotspot alert must fire (exit 1 on any other alert
+# set, 2 on IO/usage errors), the JSON report must replay byte-identical,
+# and the `top --once` dashboard frame must render.  HEALTH_REPORT.json
+# and HEALTH_REPORT.prom are left behind for the CI artifact upload;
+# `make clean` removes them.
+health-smoke:
+	rm -f health-smoke.jsonl
+	PYTHONPATH=src $(PYTHON) -m repro.cli --telemetry=health-smoke.jsonl monitor --k 4 --pattern hotspot --flows 24 > /dev/null
+	PYTHONPATH=src $(PYTHON) -m repro.cli health health-smoke.jsonl --expect link_hotspot --out HEALTH_REPORT.json --prom HEALTH_REPORT.prom
+	PYTHONPATH=src $(PYTHON) -m repro.cli health health-smoke.jsonl --expect link_hotspot --json > health-smoke-a.json
+	PYTHONPATH=src $(PYTHON) -m repro.cli health health-smoke.jsonl --expect link_hotspot --json > health-smoke-b.json
+	cmp health-smoke-a.json health-smoke-b.json
+	PYTHONPATH=src $(PYTHON) -m repro.cli top --trace health-smoke.jsonl --once > /dev/null
+	rm -f health-smoke.jsonl health-smoke-a.json health-smoke-b.json
+
 figures:
 	$(PYTHON) -m repro.cli fig5
 	$(PYTHON) -m repro.cli fig6
@@ -90,4 +106,5 @@ examples:
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis
 	rm -f BENCH_smoke.json telemetry-smoke.jsonl
+	rm -f HEALTH_REPORT.json HEALTH_REPORT.prom health-smoke*.jsonl health-smoke-*.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

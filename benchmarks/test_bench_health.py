@@ -1,0 +1,133 @@
+"""Extension bench: health-plane aggregation overhead on the bus.
+
+The health plane's contract is stricter than the monitor's: attaching
+the streaming aggregator tees every wire event through
+``HealthAggregator.consume`` in-process, and that tax must stay within
+5% of the monitor-only wall time (ISSUE 6 acceptance bar).
+
+Differencing two full simulator runs cannot resolve 5% on a noisy CI
+box (scheduler jitter alone exceeds it), so the bench measures the two
+quantities separately, each at its own natural stability:
+
+* the monitor-only wall time — the monitored hot-spot workload, best
+  of ``ROUNDS`` runs;
+* the aggregator tax — the same run's captured event stream pushed
+  through a ``HealthSink`` tee versus through the bare ``NullSink``,
+  best of ``ROUNDS`` sweeps.  The difference is exactly the work
+  :func:`repro.health.attach` adds to the bus.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from conftest import show
+
+from repro import health, obs
+from repro.core.controller import Controller
+from repro.core.conversion import Mode
+from repro.core.design import FlatTreeDesign
+from repro.core.flattree import FlatTree
+from repro.experiments.common import ExperimentResult
+from repro.flowsim.simulator import FlowSimulator, FlowSpec
+from repro.monitor import NetworkMonitor
+from repro.obs.sinks import MemorySink, NullSink
+
+BENCH_K = 8
+FLOWS = 120
+
+#: ISSUE 6 acceptance bar: the aggregator may tax a monitored run by at
+#: most this fraction of its monitor-only wall time, plus a small
+#: absolute floor so a millisecond-scale hiccup on a fast run cannot
+#: fail the gate spuriously.
+OVERHEAD_FRACTION = 0.05
+JITTER_FLOOR_S = 0.01
+ROUNDS = 5
+
+
+def hotspot_flows(params, rng) -> list:
+    servers = list(range(params.num_servers))
+    hotspot = rng.choice(servers)
+    specs = []
+    fid = 0
+    for dst in rng.sample([s for s in servers if s != hotspot], FLOWS // 2):
+        specs.append(FlowSpec(fid, hotspot, dst, size=1.0))
+        fid += 1
+    while fid < FLOWS:
+        a, b = rng.sample(servers, 2)
+        specs.append(FlowSpec(fid, a, b, size=1.0))
+        fid += 1
+    return specs
+
+
+def monitored_run(sink):
+    """One monitored hot-spot workload; returns (wall time, events)."""
+    design = FlatTreeDesign.for_fat_tree(BENCH_K)
+    controller = Controller(FlatTree(design))
+    controller.apply_mode(Mode.GLOBAL_RANDOM)
+    flows = hotspot_flows(design.params, random.Random(7))
+    monitor = NetworkMonitor(controller.network)
+    simulator = FlowSimulator(controller.network, controller.route,
+                              monitor=monitor)
+    obs.disable()
+    obs.enable(sink, emit_metric_events=True)
+    try:
+        begin = time.perf_counter()
+        simulator.run(flows)
+        elapsed = time.perf_counter() - begin
+    finally:
+        obs.disable()
+        obs.enable()  # restore the harness's metrics-only session mode
+    return elapsed, getattr(sink, "events", None)
+
+
+def aggregator_tax(events) -> tuple:
+    """Seconds HealthSink adds to draining *events*, and the aggregator."""
+    null = NullSink()
+    forward_times = []
+    tee_times = []
+    aggregator = None
+    for _ in range(ROUNDS):
+        emit = null.emit
+        begin = time.perf_counter()
+        for event in events:
+            emit(event)
+        forward_times.append(time.perf_counter() - begin)
+
+        aggregator = health.new_aggregator()
+        emit = health.HealthSink(null, aggregator).emit
+        begin = time.perf_counter()
+        for event in events:
+            emit(event)
+        aggregator.finish()
+        tee_times.append(time.perf_counter() - begin)
+    return max(0.0, min(tee_times) - min(forward_times)), aggregator
+
+
+def run_overhead_comparison() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="extension: health-plane aggregation overhead",
+        x_label="k",
+        y_label="wall-clock (s)",
+    )
+    monitored_run(NullSink())  # warm-up, discarded
+    bare = min(monitored_run(NullSink())[0] for _ in range(ROUNDS))
+    _, events = monitored_run(MemorySink())
+    tax, aggregator = aggregator_tax(events)
+    result.new_series("monitor-only").add(BENCH_K, bare)
+    result.new_series("health-attached").add(BENCH_K, bare + tax)
+    result.notes.append(
+        f"{FLOWS} flows, best of {ROUNDS}; aggregator consumed "
+        f"{aggregator.events} events over {len(aggregator.links)} links "
+        f"for +{tax * 1000:.2f} ms ({tax / bare:+.1%} of monitor-only)"
+    )
+    return result
+
+
+def test_bench_health_overhead(once):
+    result = once(run_overhead_comparison)
+    show(result)
+    bare = result.get("monitor-only").points[BENCH_K]
+    judged = result.get("health-attached").points[BENCH_K]
+    assert judged - bare <= bare * OVERHEAD_FRACTION + JITTER_FLOOR_S

@@ -238,6 +238,40 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(handler=_downscale_handler)
 
+    p = sub.add_parser("health",
+                       help="one-shot fabric health report from a "
+                            "recorded telemetry JSONL trace")
+    p.add_argument("trace", metavar="TRACE",
+                   help="telemetry JSONL file (record one with "
+                        "--telemetry=PATH)")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="print the HealthReport as deterministic JSON "
+                        "instead of text")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="also write the JSON HealthReport to PATH")
+    p.add_argument("--prom", default=None, metavar="PATH",
+                   help="write Prometheus text exposition to PATH")
+    p.add_argument("--expect", default=None, metavar="RULES",
+                   help="comma-separated alert rules the trace must have "
+                        "fired, exactly ('' = none); exit 1 on mismatch")
+    p.set_defaults(handler=_health_handler)
+
+    p = sub.add_parser("top",
+                       help="live plain-refresh fabric dashboard over a "
+                            "telemetry JSONL trace")
+    p.add_argument("--trace", required=True, metavar="PATH",
+                   help="telemetry JSONL file to replay (or tail)")
+    p.add_argument("--once", action="store_true",
+                   help="consume the whole trace, print one final frame "
+                        "(no ANSI), exit")
+    p.add_argument("--follow", action="store_true",
+                   help="keep tailing the trace for new events")
+    p.add_argument("--every", type=int, default=None, metavar="N",
+                   help="repaint every N consumed events")
+    p.add_argument("--top", type=int, default=10, dest="topk",
+                   help="hot links shown per frame")
+    p.set_defaults(handler=_top_handler)
+
     p = sub.add_parser("bench",
                        help="run pytest benchmarks/ and record a durable "
                             "BENCH_<seq>.json perf session")
@@ -362,6 +396,83 @@ def _bench_handler(args) -> int:
     return 0
 
 
+def _health_handler(args) -> int:
+    """Replay a telemetry trace through the health plane and judge it.
+
+    Exit codes follow the flatlint convention: 0 = healthy (or the
+    ``--expect``-ed alerts fired, exactly), 1 = degraded or expectation
+    mismatch, 2 = usage/IO error.
+    """
+    from pathlib import Path
+
+    from repro import health
+    from repro.errors import ReproError
+
+    trace = Path(args.trace)
+    if not trace.is_file():
+        print(f"health: no trace at {trace}", file=sys.stderr)
+        return 2
+    aggregator = health.new_aggregator()
+    try:
+        with trace.open("r", encoding="utf-8") as handle:
+            aggregator.replay_lines(handle)
+    except (ReproError, OSError) as exc:
+        print(f"health: {exc}", file=sys.stderr)
+        return 2
+    report = health.HealthReport(aggregator)
+
+    if args.out:
+        Path(args.out).write_text(report.to_json(), encoding="utf-8")
+    if args.prom:
+        Path(args.prom).write_text(
+            health.prometheus_text(aggregator, report), encoding="utf-8")
+    print(report.to_json() if args.as_json else report.render_text(),
+          end="")
+
+    if args.expect is not None:
+        expected = {name.strip() for name in args.expect.split(",")
+                    if name.strip()}
+        fired = {str(entry["rule"]) for entry in aggregator.log
+                 if entry["event"] == "alert_firing"}
+        if fired != expected:
+            print(
+                f"health: expected alerts {sorted(expected)!r}, "
+                f"trace fired {sorted(fired)!r}", file=sys.stderr)
+            return 1
+        return 0
+    return 0 if report.healthy else 1
+
+
+def _top_handler(args) -> int:
+    from pathlib import Path
+
+    from repro import health
+    from repro.errors import ReproError
+    from repro.health.top import REFRESH_EVENTS
+
+    trace = Path(args.trace)
+    if not args.follow and not trace.is_file():
+        print(f"top: no trace at {trace}", file=sys.stderr)
+        return 2
+    try:
+        health.run_top(
+            str(trace),
+            out=sys.stdout,
+            aggregator=health.new_aggregator(),
+            once=args.once,
+            follow=args.follow,
+            refresh_events=(args.every if args.every is not None
+                            else REFRESH_EVENTS),
+            k=args.topk,
+        )
+    except (ReproError, OSError) as exc:
+        print(f"top: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print()
+    return 0
+
+
 def _info_handler(args) -> int:
     import platform
 
@@ -389,6 +500,14 @@ def _info_handler(args) -> int:
         f"sampling interval {interval}, "
         f"retention {DEFAULT_RETENTION} samples/link "
         f"(flattree monitor --help)"
+    )
+    from repro.health import default_rules, default_slos
+
+    print(
+        f"health: {len(default_rules())} alert rules + "
+        f"{len(default_slos())} SLOs over streaming rollups "
+        "(flattree health TRACE, flattree top --trace PATH, "
+        "docs/health.md)"
     )
     try:
         from tools.flatlint import capability_line

@@ -269,6 +269,9 @@ class FlowSimulator:
                     )
                 )
                 del remaining[fid]
+                # Per-completion FCT observation: the health plane's
+                # windowed-p99 regression rollup feeds off this stream.
+                obs.observe("flowsim.fct_s", now - spec.arrival)
         obs.incr("flowsim.events", events)
         obs.incr("flowsim.fairshare_recomputes", recomputes)
         obs.incr("flowsim.flows_completed", len(result.completed))

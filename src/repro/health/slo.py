@@ -1,0 +1,197 @@
+"""Error budgets and multi-window burn-rate alerting.
+
+An :class:`Slo` declares a **budget** of bad units (link-seconds of
+conversion downtime, failed flows) allowed per ``slo_window`` of trace
+time.  Its :class:`SloTracker` watches a *cumulative* aggregator probe
+and keeps a bounded checkpoint history, from which it derives burn
+rates over two trailing windows::
+
+    burn(w) = (consumed over last w) / (budget * w / slo_window)
+
+A burn rate of 1.0 means "spending exactly the budget"; the tracker
+enters the *burning* state when **both** the short and the long window
+exceed ``burn_threshold`` — the standard multi-window scheme: the long
+window proves the problem is real, the short window proves it is still
+happening, and together they keep a brief blip or a long-recovered
+incident from paging.  Entering the burning state emits one
+contract-registered ``health.slo_burn`` event and appends the episode
+to the aggregator log; the state re-arms once either window recovers.
+
+Probes must be cumulative (monotone non-decreasing); the tracker
+clamps regressions, so a rollup that resets cannot refund budget.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Deque, Dict, Tuple
+
+from repro import obs
+from repro.errors import ReproError
+from repro.health.rules import probe_value
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.health.aggregate import HealthAggregator
+
+
+@dataclass(frozen=True)
+class Slo:
+    """One service-level objective over a cumulative probe."""
+
+    name: str
+    probe: str
+    budget: float           # bad units allowed per slo_window
+    slo_window: float       # trace seconds the budget covers
+    short_window: float     # fast-burn detection window
+    long_window: float      # sustained-burn confirmation window
+    burn_threshold: float = 1.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.budget <= 0:
+            raise ReproError(f"slo {self.name!r}: budget must be positive")
+        if not (0 < self.short_window <= self.long_window
+                <= self.slo_window):
+            raise ReproError(
+                f"slo {self.name!r}: want 0 < short_window <= long_window "
+                "<= slo_window")
+        if self.burn_threshold <= 0:
+            raise ReproError(
+                f"slo {self.name!r}: burn_threshold must be positive")
+
+
+class SloTracker:
+    """Burn-rate state for one :class:`Slo` (attach to an aggregator)."""
+
+    def __init__(self, slo: Slo) -> None:
+        self.slo = slo
+        #: (t, cumulative-consumed) checkpoints, oldest first, pruned
+        #: to the retention horizon (one entry kept past it so trailing
+        #: windows always have a reference point).
+        self.history: Deque[Tuple[float, float]] = deque()
+        self.consumed = 0.0     # cumulative, monotone-clamped
+        self.burning = False
+        self.burns = 0          # burn episodes entered
+
+    # -- bookkeeping ---------------------------------------------------
+    @property
+    def _retention(self) -> float:
+        return max(self.slo.long_window, self.slo.slo_window)
+
+    def _checkpoint(self, now: float, cum: float) -> None:
+        if self.history and self.history[-1][0] == now:
+            self.history[-1] = (now, cum)
+        else:
+            self.history.append((now, cum))
+        horizon = now - self._retention
+        while len(self.history) > 1 and self.history[1][0] <= horizon:
+            self.history.popleft()
+
+    def _consumed_over(self, window: float, now: float) -> float:
+        """Bad units spent in the trailing ``window`` trace seconds."""
+        cutoff = now - window
+        reference = self.history[0]
+        for point in self.history:
+            if point[0] <= cutoff:
+                reference = point
+            else:
+                break
+        return self.consumed - reference[1]
+
+    def burn_rate(self, window: float, now: float) -> float:
+        """Budget-normalized spend rate over one trailing window."""
+        if not self.history:
+            return 0.0
+        allowed = self.slo.budget * window / self.slo.slo_window
+        return self._consumed_over(window, now) / allowed
+
+    @property
+    def budget_remaining(self) -> float:
+        """Budget left in the trailing ``slo_window`` (may go negative)."""
+        if not self.history:
+            return self.slo.budget
+        now = self.history[-1][0]
+        return self.slo.budget - self._consumed_over(self.slo.slo_window,
+                                                     now)
+
+    # -- evaluation (called by HealthAggregator.evaluate) --------------
+    def observe(self, aggregator: "HealthAggregator") -> None:
+        value = probe_value(aggregator, self.slo.probe)
+        if not math.isnan(value) and value > self.consumed:
+            self.consumed = value
+        now = aggregator.t
+        self._checkpoint(now, self.consumed)
+
+        short = self.burn_rate(self.slo.short_window, now)
+        long_ = self.burn_rate(self.slo.long_window, now)
+        burning = (short >= self.slo.burn_threshold
+                   and long_ >= self.slo.burn_threshold)
+        if burning and not self.burning:
+            self.burns += 1
+            rate = max(short, long_)
+            remaining = self.budget_remaining
+            aggregator.log.append({
+                "event": "slo_burn",
+                "slo": self.slo.name,
+                "burn_rate": rate,
+                "burn_short": short,
+                "burn_long": long_,
+                "budget_remaining": remaining,
+                "t": now,
+            })
+            obs.incr("health.slo_burns")
+            obs.event("health.slo_burn", slo=self.slo.name, burn_rate=rate,
+                      budget_remaining=remaining, t=now)
+        self.burning = burning
+
+    def snapshot(self) -> Dict[str, object]:
+        now = self.history[-1][0] if self.history else 0.0
+        return {
+            "slo": self.slo.name,
+            "probe": self.slo.probe,
+            "budget": self.slo.budget,
+            "slo_window": self.slo.slo_window,
+            "consumed": self.consumed,
+            "budget_remaining": self.budget_remaining,
+            "burn_short": self.burn_rate(self.slo.short_window, now),
+            "burn_long": self.burn_rate(self.slo.long_window, now),
+            "burning": self.burning,
+            "burns": self.burns,
+        }
+
+
+def default_slos() -> Tuple[SloTracker, ...]:
+    """The shipped SLO catalog (documented in ``docs/health.md``).
+
+    * ``conversion_downtime`` — the monitor's downtime ledger (PR 2)
+      may spend at most 50 link-ms of dark time per 10 trace seconds:
+      the paper's edit-sequence planner exists precisely to keep
+      conversions inside such a budget.
+    * ``flow_loss`` — at most 5 flows dropped-without-a-path per 10
+      trace seconds, fed by the flowsim failure counter; chaos sweeps
+      that partition the fabric burn this one.
+    """
+    return (
+        SloTracker(Slo(
+            name="conversion_downtime",
+            probe="conversion.dark_s",
+            budget=0.05,
+            slo_window=10.0,
+            short_window=1.0,
+            long_window=5.0,
+            description="cumulative link dark time during conversions "
+                        "stays under 50 link-ms per 10 s",
+        )),
+        SloTracker(Slo(
+            name="flow_loss",
+            probe="rollup:flowsim.flows_failed:total",
+            budget=5.0,
+            slo_window=10.0,
+            short_window=1.0,
+            long_window=5.0,
+            description="at most 5 flows lost to topology churn per "
+                        "10 s of trace time",
+        )),
+    )

@@ -1,0 +1,183 @@
+"""``flattree top`` — a live plain-refresh fabric dashboard.
+
+Renders the health aggregator's state as a fixed-width ASCII frame:
+per-link utilization bars for the hottest links, active alerts, SLO
+error budgets, and conversion progress (downtime ledger + reconfigure
+activity).  The renderer is a pure function of aggregator state, so
+``--once`` frames are deterministic and testable; live mode just
+reprints the frame behind an ANSI home/clear sequence every
+``refresh_events`` consumed events (and can ``--follow`` a trace file
+that is still being written).
+
+No curses, no dependencies: ``print`` with ``\\x1b[H\\x1b[J`` is enough
+for a data-center-fabric ``top`` and works in any terminal or CI log.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import IO, Iterator, List, Optional
+
+from repro.errors import ReproError
+from repro.health.aggregate import HealthAggregator
+
+#: Frame width (bars scale to it).
+WIDTH = 72
+#: Utilization bar width in cells.
+BAR_CELLS = 30
+#: Default consumed-events-per-repaint in live mode.
+REFRESH_EVENTS = 200
+
+#: ANSI: cursor home + clear-to-end (plain refresh, no curses).
+_CLEAR = "\x1b[H\x1b[J"
+
+#: One-off event names surfaced in the conversion-progress panel.
+_CONVERSION_EVENTS = (
+    "core.reconfigure.step",
+    "core.reconfigure.converter_retry",
+    "flowsim.flow_rerouted",
+)
+
+
+def bar(fraction: float, cells: int = BAR_CELLS) -> str:
+    """An ASCII utilization bar: ``[#######-----------]``."""
+    fraction = min(max(fraction, 0.0), 1.0)
+    filled = int(round(fraction * cells))
+    return "[" + "#" * filled + "-" * (cells - filled) + "]"
+
+
+def render_frame(aggregator: HealthAggregator, k: int = 10) -> str:
+    """One dashboard frame, a pure function of aggregator state."""
+    lines: List[str] = []
+    lines.append(
+        f"flattree top   t={aggregator.t:>8.3f}s   "
+        f"events={aggregator.events}   links={len(aggregator.links)}   "
+        f"metrics={len(aggregator.metrics)}"
+    )
+    lines.append("=" * WIDTH)
+
+    lines.append(f"hot links (top {k} by EWMA, fresh within "
+                 f"{aggregator.stale_after:g}s):")
+    hottest = aggregator.hottest_links(k)
+    if not hottest:
+        lines.append("  (no link samples yet)")
+    for rollup in hottest:
+        lines.append(
+            f"  {rollup.link:<24.24} {bar(rollup.ewma.value)} "
+            f"{rollup.ewma.value:6.2f}  peak {rollup.peak:5.2f}"
+        )
+    lines.append(f"  fabric gini: {aggregator.link_gini():.3f}")
+
+    lines.append("-" * WIDTH)
+    rules = aggregator.rules
+    if rules is None:
+        lines.append("alerts: (no rules engine attached)")
+    else:
+        active = rules.active()  # type: ignore[attr-defined]
+        lines.append(f"alerts: {len(active)} firing")
+        for state in active:
+            lines.append(
+                f"  !! [{state.rule.severity}] {state.rule.name}  "
+                f"{state.rule.probe} = {state.value:.4g} "
+                f"(>{state.rule.threshold:g}) since t={state.fired_at:.3f}"
+            )
+
+    lines.append("-" * WIDTH)
+    lines.append("slo budgets:")
+    if not aggregator.slos:
+        lines.append("  (none)")
+    for tracker in aggregator.slos:
+        snap = tracker.snapshot()  # type: ignore[attr-defined]
+        budget = float(snap["budget"])  # type: ignore[arg-type]
+        remaining = float(snap["budget_remaining"])  # type: ignore[arg-type]
+        frac = remaining / budget if budget > 0 else 0.0
+        flag = " BURNING" if snap["burning"] else ""
+        lines.append(
+            f"  {str(snap['slo']):<22.22} {bar(frac)} "
+            f"{remaining:8.4f}/{budget:g} left{flag}"
+        )
+
+    lines.append("-" * WIDTH)
+    lines.append(
+        f"conversion: dark {aggregator.dark_seconds:.4f} link-s over "
+        f"{aggregator.blink_windows} windows"
+        + (f"; still dark: {len(aggregator.open_dark_links())}"
+           if aggregator.dark_open else "")
+    )
+    for name in _CONVERSION_EVENTS:
+        count = aggregator.event_count(name)
+        if count:
+            lines.append(f"  {name}: {count} "
+                         f"({aggregator.event_rate(name):.2f}/s)")
+    return "\n".join(lines) + "\n"
+
+
+def _follow_lines(path: str, poll_s: float,
+                  max_polls: Optional[int]) -> Iterator[str]:
+    """Yield lines from a growing file, tail -f style."""
+    polls = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        while True:
+            line = handle.readline()
+            if line:
+                yield line
+                continue
+            polls += 1
+            if max_polls is not None and polls >= max_polls:
+                return
+            time.sleep(poll_s)
+
+
+def run_top(
+    trace_path: str,
+    out: IO[str],
+    aggregator: HealthAggregator,
+    once: bool = False,
+    follow: bool = False,
+    refresh_events: int = REFRESH_EVENTS,
+    k: int = 10,
+    poll_s: float = 0.25,
+    max_polls: Optional[int] = None,
+) -> HealthAggregator:
+    """Drive the dashboard from a telemetry JSONL trace.
+
+    ``once`` consumes the whole trace silently and prints a single
+    final frame (no ANSI) — the CI/smoke-test mode.  Otherwise a frame
+    is repainted every ``refresh_events`` consumed events; ``follow``
+    keeps tailing the file for new lines (``max_polls`` bounds the
+    wait, for tests).
+    """
+    if refresh_events < 1:
+        raise ReproError("refresh_events must be >= 1")
+    lines: Iterator[str]
+    handle: Optional[IO[str]] = None
+    if follow and not once:
+        lines = _follow_lines(trace_path, poll_s, max_polls)
+    else:
+        handle = open(trace_path, "r", encoding="utf-8")
+        lines = iter(handle)
+    last_painted = 0
+    try:
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError as exc:
+                raise ReproError(f"bad telemetry line: {exc}") from exc
+            if isinstance(event, dict):
+                aggregator.consume(event)
+            if (not once
+                    and aggregator.events - last_painted >= refresh_events):
+                last_painted = aggregator.events
+                out.write(_CLEAR + render_frame(aggregator, k=k))
+                out.flush()
+    finally:
+        if handle is not None:
+            handle.close()
+    aggregator.finish()
+    out.write(("" if once else _CLEAR) + render_frame(aggregator, k=k))
+    out.flush()
+    return aggregator

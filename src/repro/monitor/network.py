@@ -31,7 +31,6 @@ nothing costs nothing: all publishers take ``monitor=None`` fast paths.
 from __future__ import annotations
 
 import math
-import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, Iterable, List, Optional, Tuple
@@ -39,7 +38,7 @@ from typing import Deque, Dict, Iterable, List, Optional, Tuple
 from repro import obs
 from repro.errors import ReproError
 from repro.obs.stats import gini as _gini
-from repro.obs.stats import nearest_rank_quantile
+from repro.obs.stats import nearest_rank_quantile, quantile_summary
 from repro.routing.base import Path
 from repro.topology.elements import Network, SwitchId
 
@@ -124,6 +123,10 @@ class LinkSeries:
         return nearest_rank_quantile(
             (s.utilization for s in self.samples), q
         )
+
+    def utilization_summary(self) -> Dict[str, float]:
+        """p50/p90/p99 utilization over the retained samples."""
+        return quantile_summary([s.utilization for s in self.samples])
 
     def snapshot(self) -> Dict[str, object]:
         return {
@@ -234,18 +237,16 @@ class NetworkMonitor:
             for switch in key:
                 switch_load[switch] = switch_load.get(switch, 0.0) + rate
             if export:
-                obs.current_sink().emit({
-                    "ts": time.time(),
-                    "name": "monitor.link_sample",
-                    "kind": "link_sample",
-                    "t": t,
-                    "link": link_label(*key),
-                    "value": utilization,
-                    "utilization": utilization,
-                    "rate": rate,
-                    "capacity": capacity,
-                    "active_flows": flows,
-                })
+                obs.publish(
+                    "link_sample", "monitor.link_sample",
+                    t=t,
+                    link=link_label(*key),
+                    value=utilization,
+                    utilization=utilization,
+                    rate=rate,
+                    capacity=capacity,
+                    active_flows=flows,
+                )
         for switch, load in switch_load.items():
             self._switch_sum[switch] = (
                 self._switch_sum.get(switch, 0.0) + load
@@ -268,15 +269,10 @@ class NetworkMonitor:
         windows.append([t, None])
         self._dark_keys.setdefault(key, (u, v))
         obs.incr("monitor.link_down_events")
-        if obs.enabled():
-            obs.current_sink().emit({
-                "ts": time.time(),
-                "name": "monitor.link_down",
-                "kind": "link_down",
-                "t": t,
-                "link": link_label(u, v),
-                "value": 1,
-            })
+        obs.publish(
+            "link_down", "monitor.link_down",
+            t=t, link=link_label(u, v), value=1,
+        )
 
     def link_up(self, t: float, u: SwitchId, v: SwitchId) -> None:
         """A dark link is restored; closes its open downtime window."""
@@ -295,16 +291,10 @@ class NetworkMonitor:
             )
         windows[-1][1] = t
         obs.incr("monitor.link_up_events")
-        if obs.enabled():
-            obs.current_sink().emit({
-                "ts": time.time(),
-                "name": "monitor.link_up",
-                "kind": "link_up",
-                "t": t,
-                "link": link_label(u, v),
-                "value": 1,
-                "dark_s": t - down_t,
-            })
+        obs.publish(
+            "link_up", "monitor.link_up",
+            t=t, link=link_label(u, v), value=1, dark_s=t - down_t,
+        )
 
     # ------------------------------------------------------------------
     # derived statistics

@@ -40,7 +40,13 @@ from repro.obs.registry import (
     Timer,
 )
 from repro.obs.render import render_table
-from repro.obs.stats import gini, nearest_rank_quantile
+from repro.obs.stats import (
+    Ewma,
+    WindowedQuantile,
+    gini,
+    nearest_rank_quantile,
+    quantile_summary,
+)
 from repro.obs.sinks import (
     FileSink,
     MemorySink,
@@ -59,7 +65,9 @@ from repro.obs.trace import (
     enabled,
     event,
     incr,
+    install_sink,
     observe,
+    publish,
     registry,
     set_gauge,
     span,
@@ -68,6 +76,7 @@ from repro.obs.trace import (
 
 __all__ = [
     "Counter",
+    "Ewma",
     "FileSink",
     "Gauge",
     "Histogram",
@@ -83,6 +92,7 @@ __all__ = [
     "StreamSink",
     "TRACEMALLOC_ENV",
     "Timer",
+    "WindowedQuantile",
     "current_sink",
     "disable",
     "enable",
@@ -90,8 +100,11 @@ __all__ = [
     "event",
     "gini",
     "incr",
+    "install_sink",
     "nearest_rank_quantile",
     "observe",
+    "publish",
+    "quantile_summary",
     "registry",
     "render_table",
     "set_gauge",

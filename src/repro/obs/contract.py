@@ -66,6 +66,12 @@ EVENT_FIELDS: Mapping[str, FrozenSet[str]] = {
         {"topology", "fraction", "draw"}),
     "core.scaling.candidate_skipped": frozenset({"candidate", "reason"}),
     "perf.bench_session": frozenset({"out", "benches"}),
+    "health.alert_firing": frozenset(
+        {"rule", "metric", "value", "threshold", "t"}),
+    "health.alert_resolved": frozenset(
+        {"rule", "metric", "fired_for", "t"}),
+    "health.slo_burn": frozenset(
+        {"slo", "burn_rate", "budget_remaining", "t"}),
 }
 
 #: The contract's one-off event names — derived from
@@ -168,6 +174,41 @@ def _check_bench_session(event: Mapping[str, Any],
     _check_counted(event, problems, "bench_session", "benches")
 
 
+def _check_alert_firing(event: Mapping[str, Any],
+                        problems: List[str]) -> None:
+    _check_named(event, problems, "alert_firing", "rule")
+    _check_named(event, problems, "alert_firing", "metric")
+    if not _numeric(event.get("threshold")):
+        problems.append("alert_firing missing numeric 'threshold'")
+    _check_event_time(event, problems, "alert_firing")
+
+
+def _check_alert_resolved(event: Mapping[str, Any],
+                          problems: List[str]) -> None:
+    _check_named(event, problems, "alert_resolved", "rule")
+    _check_named(event, problems, "alert_resolved", "metric")
+    fired_for = event.get("fired_for")
+    if not _numeric(fired_for):
+        problems.append("alert_resolved missing numeric 'fired_for'")
+    elif fired_for < 0:
+        problems.append(f"negative alert_resolved 'fired_for' {fired_for}")
+    _check_event_time(event, problems, "alert_resolved")
+
+
+def _check_slo_burn(event: Mapping[str, Any],
+                    problems: List[str]) -> None:
+    _check_named(event, problems, "slo_burn", "slo")
+    burn = event.get("burn_rate")
+    if not _numeric(burn):
+        problems.append("slo_burn missing numeric 'burn_rate'")
+    elif burn < 0:
+        problems.append(f"negative slo_burn 'burn_rate' {burn}")
+    # budget_remaining may legitimately go negative once overspent.
+    if not _numeric(event.get("budget_remaining")):
+        problems.append("slo_burn missing numeric 'budget_remaining'")
+    _check_event_time(event, problems, "slo_burn")
+
+
 #: Per-name value-level schema checks for registered one-off events.
 EVENT_CHECKS: Mapping[str, Callable[[Mapping[str, Any], List[str]], None]] = {
     "core.profiling.skipped_candidate": _check_skipped_candidate,
@@ -178,6 +219,9 @@ EVENT_CHECKS: Mapping[str, Callable[[Mapping[str, Any], List[str]], None]] = {
     "experiments.degradation.solver_failure": _check_solver_failure,
     "core.scaling.candidate_skipped": _check_candidate_skipped,
     "perf.bench_session": _check_bench_session,
+    "health.alert_firing": _check_alert_firing,
+    "health.alert_resolved": _check_alert_resolved,
+    "health.slo_burn": _check_slo_burn,
 }
 
 

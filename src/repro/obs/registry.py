@@ -18,7 +18,7 @@ import time
 from typing import Dict, List, Optional, Type, TypeVar
 
 from repro.errors import ReproError
-from repro.obs.stats import nearest_rank_quantile
+from repro.obs.stats import nearest_rank_quantile, quantile_summary
 
 
 class Counter:
@@ -122,17 +122,16 @@ class Histogram:
         return nearest_rank_quantile(self._sample_view(), q)
 
     def snapshot(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "kind": self.kind,
             "count": self.count,
             "sum": self.sum,
             "min": self.min if self.count else math.nan,
             "max": self.max if self.count else math.nan,
             "mean": self.mean,
-            "p50": self.quantile(0.50),
-            "p90": self.quantile(0.90),
-            "p99": self.quantile(0.99),
         }
+        out.update(quantile_summary(self._sample_view()))
+        return out
 
 
 class Timer:

@@ -1,0 +1,58 @@
+"""Health-plane test fixtures: isolated telemetry + trace builders."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.sinks import MemorySink
+
+
+@pytest.fixture()
+def clean_obs():
+    """Guarantee telemetry is off and the registry empty around a test."""
+    obs.disable()
+    obs.registry.reset()
+    yield
+    obs.disable()
+    obs.registry.reset()
+
+
+@pytest.fixture()
+def memory_sink(clean_obs) -> MemorySink:
+    """Telemetry enabled onto an in-memory sink (metric events on)."""
+    sink = MemorySink()
+    obs.enable(sink, emit_metric_events=True)
+    return sink
+
+
+def link_sample(t, link, utilization):
+    """One monitor link_sample wire event, JSON-encoded."""
+    return json.dumps({
+        "ts": 0.0, "name": "monitor.link_sample", "kind": "link_sample",
+        "t": t, "link": link, "value": utilization,
+        "utilization": utilization, "rate": utilization, "capacity": 1.0,
+        "active_flows": 1,
+    })
+
+
+@pytest.fixture()
+def hotspot_lines():
+    """A synthetic trace: one link sustained >90% hot, then cooling off.
+
+    200 ticks at 0.05 s: ``s1->s2`` runs at 0.97 for the first 120
+    ticks (6 trace seconds) then drops to 0.10; ``s2->s3`` idles at
+    0.20 throughout.  Long enough past both the 0.5 s sustained-for
+    gate and the EWMA decay through the 0.75 clear threshold that the
+    default ``link_hotspot`` rule fires exactly once and resolves
+    exactly once.
+    """
+    lines = []
+    for i in range(200):
+        t = i * 0.05
+        hot = 0.97 if i < 120 else 0.10
+        lines.append(link_sample(t, "s1->s2", hot))
+        lines.append(link_sample(t, "s2->s3", 0.20))
+    return lines

@@ -1,0 +1,152 @@
+"""SLO burn-rate math against hand-computed budgets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import health
+from repro.errors import ReproError
+from repro.health.aggregate import HealthAggregator
+from repro.health.slo import Slo, SloTracker
+from repro.obs import contract
+
+
+class FakeAggregator:
+    """The minimal surface SloTracker touches: clock, probe, log."""
+
+    def __init__(self):
+        self.t = 0.0
+        self.dark_seconds = 0.0
+        self.log = []
+
+    def at(self, t, dark):
+        self.t = t
+        self.dark_seconds = dark
+        return self
+
+
+def tracker(budget=10.0, slo_window=10.0, short=1.0, long_=5.0):
+    return SloTracker(Slo(
+        name="downtime", probe="conversion.dark_s", budget=budget,
+        slo_window=slo_window, short_window=short, long_window=long_,
+    ))
+
+
+class TestBurnRateMath:
+    def test_hand_computed_multi_window_trajectory(self):
+        """budget 10 per 10 s, short 1 s, long 5 s, threshold 1.0.
+
+        t=0 dark=0   -> rates 0
+        t=1 dark=2   -> short: 2 consumed / (10*1/10) = 2.0
+                        long:  2 / (10*5/10) = 0.4      -> not burning
+        t=5 dark=8   -> short: (8-2)/1 = 6.0
+                        long:  (8-0)/5 = 1.6            -> BURNING
+        t=6 dark=8   -> short: (8-8)/1 = 0.0            -> re-armed
+        t=7 dark=9   -> short: (9-8)/1 = 1.0
+                        long:  (9-2)/5 = 1.4            -> burning again
+        """
+        agg = FakeAggregator()
+        trk = tracker()
+        trk.observe(agg.at(0.0, 0.0))
+        assert trk.burn_rate(1.0, 0.0) == 0.0
+        assert not trk.burning
+
+        trk.observe(agg.at(1.0, 2.0))
+        assert trk.burn_rate(1.0, 1.0) == pytest.approx(2.0)
+        assert trk.burn_rate(5.0, 1.0) == pytest.approx(0.4)
+        assert not trk.burning and trk.burns == 0
+
+        trk.observe(agg.at(5.0, 8.0))
+        assert trk.burn_rate(1.0, 5.0) == pytest.approx(6.0)
+        assert trk.burn_rate(5.0, 5.0) == pytest.approx(1.6)
+        assert trk.burning and trk.burns == 1
+        episode = agg.log[0]
+        assert episode["event"] == "slo_burn"
+        assert episode["burn_rate"] == pytest.approx(6.0)
+        assert episode["budget_remaining"] == pytest.approx(2.0)
+
+        trk.observe(agg.at(6.0, 8.0))
+        assert not trk.burning, "short window recovered"
+
+        trk.observe(agg.at(7.0, 9.0))
+        assert trk.burn_rate(1.0, 7.0) == pytest.approx(1.0)
+        assert trk.burn_rate(5.0, 7.0) == pytest.approx(1.4)
+        assert trk.burning and trk.burns == 2
+        assert len(agg.log) == 2
+
+    def test_budget_remaining_over_trailing_slo_window(self):
+        agg = FakeAggregator()
+        trk = tracker(budget=4.0, slo_window=10.0)
+        trk.observe(agg.at(0.0, 0.0))
+        trk.observe(agg.at(5.0, 3.0))
+        assert trk.budget_remaining == pytest.approx(1.0)
+        trk.observe(agg.at(8.0, 5.0))
+        assert trk.budget_remaining == pytest.approx(-1.0)
+
+    def test_consumption_is_monotone_clamped(self):
+        agg = FakeAggregator()
+        trk = tracker()
+        trk.observe(agg.at(1.0, 3.0))
+        trk.observe(agg.at(2.0, 1.0))   # probe regressed: no refund
+        assert trk.consumed == 3.0
+
+    def test_history_pruned_to_retention(self):
+        agg = FakeAggregator()
+        trk = tracker()
+        for i in range(100):
+            trk.observe(agg.at(float(i), 0.0))
+        # 10 s retention + the one boundary entry kept for reference
+        assert len(trk.history) <= 12
+
+    def test_emitted_burn_event_passes_the_wire_contract(
+            self, memory_sink):
+        agg = FakeAggregator()
+        trk = tracker()
+        trk.observe(agg.at(0.0, 0.0))
+        trk.observe(agg.at(5.0, 50.0))
+        burn = [e for e in memory_sink.events
+                if e["name"] == "health.slo_burn"]
+        assert len(burn) == 1
+        assert contract.check_event(burn[0]) == [], burn[0]
+
+
+class TestValidation:
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ReproError):
+            Slo(name="s", probe="conversion.dark_s", budget=0,
+                slo_window=10, short_window=1, long_window=5)
+
+    def test_window_ordering_enforced(self):
+        with pytest.raises(ReproError):
+            Slo(name="s", probe="conversion.dark_s", budget=1,
+                slo_window=10, short_window=6, long_window=5)
+        with pytest.raises(ReproError):
+            Slo(name="s", probe="conversion.dark_s", budget=1,
+                slo_window=4, short_window=1, long_window=5)
+
+    def test_burn_threshold_positive(self):
+        with pytest.raises(ReproError):
+            Slo(name="s", probe="conversion.dark_s", budget=1,
+                slo_window=10, short_window=1, long_window=5,
+                burn_threshold=0)
+
+
+class TestDefaultSlos:
+    def test_catalog_shape(self):
+        slos = health.default_slos()
+        assert [t.slo.name for t in slos] == \
+            ["conversion_downtime", "flow_loss"]
+        for trk in slos:
+            assert trk.slo.description
+            snap = trk.snapshot()
+            assert snap["budget_remaining"] == trk.slo.budget
+
+    def test_downtime_slo_burns_on_a_dark_fabric(self):
+        agg = HealthAggregator(slos=(health.default_slos()[0],),
+                               eval_every=1)
+        agg.consume({"name": "monitor.link_down", "kind": "link_down",
+                     "ts": 0.0, "link": "a-b", "value": 1, "t": 0.5})
+        agg.consume({"name": "monitor.link_up", "kind": "link_up",
+                     "ts": 0.0, "link": "a-b", "value": 1, "t": 1.5})
+        agg.finish()
+        assert any(entry["event"] == "slo_burn" for entry in agg.log)

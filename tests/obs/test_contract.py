@@ -190,6 +190,49 @@ class TestBenchSessionEvent:
         assert any("'benches'" in p for p in problems)
 
 
+class TestHealthEvents:
+    def test_registered_with_required_fields(self):
+        assert contract.EVENT_FIELDS["health.alert_firing"] == frozenset(
+            {"rule", "metric", "value", "threshold", "t"})
+        assert contract.EVENT_FIELDS["health.alert_resolved"] == frozenset(
+            {"rule", "metric", "fired_for", "t"})
+        assert contract.EVENT_FIELDS["health.slo_burn"] == frozenset(
+            {"slo", "burn_rate", "budget_remaining", "t"})
+        for name in ("health.alert_firing", "health.alert_resolved",
+                     "health.slo_burn"):
+            assert name in contract.EVENT_CHECKS
+
+    def test_valid_alert_pair(self):
+        assert contract.check_event(
+            event("health.alert_firing", rule="link_hotspot",
+                  metric="link.hottest_ewma", value=0.95, threshold=0.9,
+                  t=1.5)) == []
+        assert contract.check_event(
+            event("health.alert_resolved", rule="link_hotspot",
+                  metric="link.hottest_ewma", fired_for=4.8, t=6.3)) == []
+
+    def test_alert_firing_requires_numeric_threshold(self):
+        problems = contract.check_event(
+            event("health.alert_firing", rule="r", metric="m",
+                  value=1.0, threshold="high", t=1.0))
+        assert any("'threshold'" in p for p in problems)
+
+    def test_negative_fired_for_rejected(self):
+        problems = contract.check_event(
+            event("health.alert_resolved", rule="r", metric="m",
+                  fired_for=-1.0, t=1.0))
+        assert any("fired_for" in p for p in problems)
+
+    def test_slo_burn_allows_negative_budget_remaining(self):
+        assert contract.check_event(
+            event("health.slo_burn", slo="conversion_downtime",
+                  burn_rate=3.5, budget_remaining=-0.01, t=2.0)) == []
+        problems = contract.check_event(
+            event("health.slo_burn", slo="conversion_downtime",
+                  burn_rate=-1.0, budget_remaining=0.5, t=2.0))
+        assert any("burn_rate" in p for p in problems)
+
+
 class TestCheckLineAndStream:
     def test_invalid_json(self):
         problems = contract.check_line("{not json")

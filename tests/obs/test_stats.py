@@ -13,7 +13,13 @@ import math
 import pytest
 
 from repro.errors import ReproError
-from repro.obs import gini, nearest_rank_quantile
+from repro.obs import (
+    Ewma,
+    WindowedQuantile,
+    gini,
+    nearest_rank_quantile,
+    quantile_summary,
+)
 
 
 class TestNearestRankQuantile:
@@ -89,3 +95,92 @@ class TestGini:
     def test_negative_rejected(self):
         with pytest.raises(ReproError):
             gini([1.0, -0.5])
+
+
+class TestEwma:
+    def test_first_observation_seeds_exactly(self):
+        e = Ewma(alpha=0.2)
+        assert math.isnan(e.value)
+        assert e.update(10.0) == 10.0
+        assert e.count == 1
+
+    def test_update_is_the_standard_recurrence(self):
+        e = Ewma(alpha=0.5)
+        e.update(0.0)
+        assert e.update(1.0) == pytest.approx(0.5)
+        assert e.update(1.0) == pytest.approx(0.75)
+
+    def test_alpha_one_tracks_the_last_value(self):
+        e = Ewma(alpha=1.0)
+        e.update(3.0)
+        assert e.update(7.0) == 7.0
+
+    def test_from_half_life(self):
+        e = Ewma.from_half_life(1.0)
+        assert e.alpha == pytest.approx(0.5)
+        # after `half_life` updates from 1 toward 0, half remains
+        e.update(1.0)
+        e.update(0.0)
+        assert e.value == pytest.approx(0.5)
+
+    def test_invalid_alpha_and_half_life_rejected(self):
+        for alpha in (0.0, -0.1, 1.5):
+            with pytest.raises(ReproError):
+                Ewma(alpha=alpha)
+        with pytest.raises(ReproError):
+            Ewma.from_half_life(0.0)
+
+
+class TestWindowedQuantile:
+    def test_window_evicts_oldest(self):
+        w = WindowedQuantile(window=3)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            w.push(v)
+        assert len(w) == 3
+        assert w.count == 4          # all-time count keeps running
+        assert w.quantile(0.0) == 2.0
+        assert w.quantile(1.0) == 4.0
+
+    def test_quantiles_match_nearest_rank(self):
+        w = WindowedQuantile(window=100)
+        values = [float(v) for v in range(50)]
+        for v in values:
+            w.push(v)
+        assert w.quantile(0.99) == nearest_rank_quantile(values, 0.99)
+        assert w.summary() == quantile_summary(values)
+
+    def test_mean_is_all_time_and_last_is_latest(self):
+        w = WindowedQuantile(window=2)
+        for v in (1.0, 2.0, 9.0):
+            w.push(v)
+        assert w.mean == pytest.approx(4.0)
+        assert w.last == 9.0
+
+    def test_empty_window_is_nan(self):
+        w = WindowedQuantile(window=4)
+        assert math.isnan(w.quantile(0.5))
+        assert math.isnan(w.mean)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ReproError):
+            WindowedQuantile(window=0)
+
+
+class TestQuantileSummary:
+    def test_labels_and_values(self):
+        values = [float(v) for v in range(100)]
+        summary = quantile_summary(values)
+        assert sorted(summary) == ["p50", "p90", "p99"]
+        assert summary["p50"] == nearest_rank_quantile(values, 0.50)
+        assert summary["p99"] == nearest_rank_quantile(values, 0.99)
+
+    def test_histogram_snapshot_uses_the_shared_summary(self):
+        """Dedupe proof: Histogram quantile labels == quantile_summary."""
+        from repro.obs.registry import Histogram
+
+        hist = Histogram("h")
+        for v in (3.0, 1.0, 2.0):
+            hist.observe(v)
+        snapshot = hist.snapshot()
+        for label, value in quantile_summary([3.0, 1.0, 2.0]).items():
+            assert snapshot[label] == value

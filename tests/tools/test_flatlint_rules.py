@@ -345,6 +345,69 @@ class TestFT004Layering:
             visit(pkg)
 
 
+class TestFT005BusEmission:
+    BAD = """\
+        from repro import obs
+
+        def leak(payload):
+            obs.current_sink().emit(payload)
+        """
+
+    def test_direct_chain_fires_in_library_code(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, "src/repro/traffic/bad.py", self.BAD)
+        assert codes(findings) == ["FT005"]
+        assert "obs.publish" in findings[0].message
+
+    def test_aliased_sink_variable_fires(self, tmp_path):
+        findings = lint_snippet(tmp_path, "src/repro/traffic/bad.py", """\
+            from repro import obs
+
+            def leak(payload):
+                sink = obs.current_sink()
+                sink.emit(payload)
+            """)
+        assert codes(findings) == ["FT005"]
+
+    def test_install_sink_fires_outside_health(self, tmp_path):
+        findings = lint_snippet(tmp_path, "src/repro/core/bad.py", """\
+            from repro import obs
+
+            def hijack(sink):
+                obs.install_sink(sink)
+            """)
+        assert codes(findings) == ["FT005"]
+        assert "install_sink" in findings[0].message
+
+    def test_obs_and_health_packages_exempt(self, tmp_path):
+        for relpath in ("src/repro/obs/tee.py", "src/repro/health/tee.py"):
+            assert lint_snippet(tmp_path, relpath, self.BAD) == []
+
+    def test_tests_and_tools_exempt(self, tmp_path):
+        assert lint_snippet(tmp_path, "tests/poke.py", self.BAD) == []
+
+    def test_publish_is_the_sanctioned_path(self, tmp_path):
+        findings = lint_snippet(tmp_path, "src/repro/traffic/ok.py", """\
+            from repro import obs
+
+            def emit_sample(t, link, utilization):
+                obs.publish("link_sample", "traffic.sample", t=t,
+                            link=link, value=utilization,
+                            utilization=utilization, rate=utilization,
+                            capacity=1.0, active_flows=1)
+            """)
+        assert [f for f in findings if f.code == "FT005"] == []
+
+    def test_inline_suppression(self, tmp_path):
+        findings = lint_snippet(tmp_path, "src/repro/traffic/bad.py", """\
+            from repro import obs
+
+            def leak(payload):
+                obs.current_sink().emit(payload)  # flatlint: disable=FT005
+            """)
+        assert findings == []
+
+
 class TestSuppressionsAndParseErrors:
     def test_inline_suppression_silences_only_that_code(self, tmp_path):
         findings = lint_snippet(tmp_path, "mod.py", """\
@@ -380,5 +443,5 @@ class TestSuppressionsAndParseErrors:
     def test_every_rule_has_stable_code_and_summary(self):
         rules = all_rules()
         assert [r.code for r in rules] == ["FT001", "FT002", "FT003",
-                                           "FT004"]
+                                           "FT004", "FT005"]
         assert all(r.name and r.summary for r in rules)

@@ -12,6 +12,9 @@ invariants rather than generic style:
   float ``==`` on capacity-like quantities;
 * **FT004 layering** — module-scope imports follow a declared package
   DAG; ``repro.obs`` internals stay private.
+* **FT005 bus-emission** — telemetry leaves through ``obs.publish`` /
+  ``obs.event``; direct ``Sink.emit`` calls and ``obs.install_sink``
+  stay inside ``repro.obs`` and ``repro.health``.
 
 Run ``python -m tools.flatlint src tests`` (see ``make lint``);
 suppress a finding in place with ``# flatlint: disable=FT0xx``.  The

@@ -43,6 +43,10 @@ ALLOWED: Dict[str, FrozenSet[str]] = {
     "repro.core": _FOUNDATION | {
         "repro.topology", "repro.mcf", "repro.routing"},
     "repro.chaos": _FOUNDATION | {"repro.topology", "repro.core"},
+    # The health plane consumes only the wire contract: it reads bus
+    # events, never simulator/topology state, so it sits on the
+    # foundation alone and any producer stays importable without it.
+    "repro.health": _FOUNDATION,
     "repro.experiments": _FOUNDATION | {
         "repro.topology", "repro.mcf", "repro.routing", "repro.flowsim",
         "repro.traffic", "repro.monitor", "repro.core", "repro.chaos",
@@ -50,7 +54,7 @@ ALLOWED: Dict[str, FrozenSet[str]] = {
     "repro.cli": _FOUNDATION | {
         "repro.topology", "repro.mcf", "repro.routing", "repro.flowsim",
         "repro.traffic", "repro.monitor", "repro.core", "repro.chaos",
-        "repro.analysis", "repro.experiments"},
+        "repro.analysis", "repro.experiments", "repro.health"},
 }
 
 #: repro.obs submodules that are public API; everything else is

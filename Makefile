@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-session bench-smoke bench-compare figures examples lint clean telemetry-smoke monitor-smoke chaos-smoke health-smoke
+.PHONY: install test bench bench-session bench-smoke bench-compare figures examples lint clean telemetry-smoke monitor-smoke chaos-smoke health-smoke hotspots-smoke
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -28,12 +28,16 @@ bench-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.cli bench --select "fig5 or ksp" --out BENCH_smoke.json --label smoke
 	$(PYTHON) -m tools.perfreport compare BENCH_smoke.json BENCH_smoke.json
 
-# Judge the newest BENCH_<seq>.json against its predecessor; override
-# either side with BASE=... NEW=... (exit 1 on regression).
+# Judge the newest BENCH_<seq>.json against its predecessor (the
+# comparator auto-selects the two newest numbered sessions and exits 0
+# with a notice when fewer than two exist); override either side with
+# BASE=... NEW=... (exit 1 on regression).
 bench-compare:
-	@$(PYTHON) -m tools.perfreport compare \
-		$${BASE:-$$(ls BENCH_[0-9]*.json | sort -V | tail -2 | head -1)} \
-		$${NEW:-$$(ls BENCH_[0-9]*.json | sort -V | tail -1)}
+	@if [ -n "$$BASE" ] || [ -n "$$NEW" ]; then \
+		$(PYTHON) -m tools.perfreport compare "$$BASE" "$$NEW"; \
+	else \
+		$(PYTHON) -m tools.perfreport compare; \
+	fi
 
 # Static analysis: the domain-aware flatlint pass (FT001-FT005, see
 # docs/static-analysis.md) plus the mypy typing gate configured in
@@ -93,6 +97,16 @@ health-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.cli top --trace health-smoke.jsonl --once > /dev/null
 	rm -f health-smoke.jsonl health-smoke-a.json health-smoke-b.json
 
+# Tiny sampling-profiler campaign for CI: a k=8 battery at a high
+# sample rate -> HOTSPOTS_smoke.json, validated by re-rendering it and
+# round-tripping the captured folded stacks through tools.perfreport.
+# The artifact is left behind for the CI upload; `make clean` removes it.
+hotspots-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli hotspots --k 8 --hz 331 --flows 64 --out HOTSPOTS_smoke.json --label smoke > /dev/null
+	$(PYTHON) -m tools.perfreport hotspots HOTSPOTS_smoke.json --folded hotspots-smoke.folded
+	test -s hotspots-smoke.folded
+	rm -f hotspots-smoke.folded
+
 figures:
 	$(PYTHON) -m repro.cli fig5
 	$(PYTHON) -m repro.cli fig6
@@ -107,4 +121,5 @@ clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis
 	rm -f BENCH_smoke.json telemetry-smoke.jsonl
 	rm -f HEALTH_REPORT.json HEALTH_REPORT.prom health-smoke*.jsonl health-smoke-*.json
+	rm -f HOTSPOTS_smoke.json hotspots-smoke.folded
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,100 @@
+"""Extension bench: sampling-profiler overhead on a flowsim workload.
+
+The ISSUE 7 acceptance bar: running a workload under
+:class:`repro.obs.sampler.SamplingProfiler` at its default 97 Hz may
+tax the wall time by at most 5%.  Statistical sampling only pauses the
+target thread while ``sys._current_frames()`` snapshots it, so the tax
+should be far below that bar; this bench keeps it honest.
+
+Both sides are measured best-of-``ROUNDS`` on the same hot-spot flowsim
+workload used by the health bench, plus a small absolute jitter floor
+so a millisecond hiccup on a fast box cannot fail the gate spuriously.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from conftest import show
+
+from repro.core.controller import Controller
+from repro.core.conversion import Mode
+from repro.core.design import FlatTreeDesign
+from repro.core.flattree import FlatTree
+from repro.experiments.common import ExperimentResult
+from repro.flowsim.simulator import FlowSimulator, FlowSpec
+from repro.obs.sampler import DEFAULT_HZ, SamplingProfiler
+
+BENCH_K = 8
+FLOWS = 120
+
+#: ISSUE 7 acceptance bar: sampler-on wall time may exceed sampler-off
+#: by at most this fraction, plus the jitter floor.
+OVERHEAD_FRACTION = 0.05
+JITTER_FLOOR_S = 0.01
+ROUNDS = 5
+
+
+def hotspot_flows(params, rng) -> list:
+    servers = list(range(params.num_servers))
+    hotspot = rng.choice(servers)
+    specs = []
+    fid = 0
+    for dst in rng.sample([s for s in servers if s != hotspot], FLOWS // 2):
+        specs.append(FlowSpec(fid, hotspot, dst, size=1.0))
+        fid += 1
+    while fid < FLOWS:
+        a, b = rng.sample(servers, 2)
+        specs.append(FlowSpec(fid, a, b, size=1.0))
+        fid += 1
+    return specs
+
+
+def flowsim_run(profiler=None) -> float:
+    design = FlatTreeDesign.for_fat_tree(BENCH_K)
+    controller = Controller(FlatTree(design))
+    controller.apply_mode(Mode.GLOBAL_RANDOM)
+    flows = hotspot_flows(design.params, random.Random(7))
+    simulator = FlowSimulator(controller.network, controller.route)
+    if profiler is not None:
+        profiler.start()
+    begin = time.perf_counter()
+    simulator.run(flows)
+    elapsed = time.perf_counter() - begin
+    if profiler is not None:
+        profiler.stop()
+    return elapsed
+
+
+def run_overhead_comparison() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="extension: sampling-profiler overhead",
+        x_label="k",
+        y_label="wall-clock (s)",
+    )
+    flowsim_run()  # warm-up, discarded
+    bare = min(flowsim_run() for _ in range(ROUNDS))
+    sampled_times = []
+    samples = 0
+    for _ in range(ROUNDS):
+        profiler = SamplingProfiler(hz=DEFAULT_HZ)
+        sampled_times.append(flowsim_run(profiler))
+        samples = max(samples, profiler.profile.samples)
+    sampled = min(sampled_times)
+    result.new_series("sampler-off").add(BENCH_K, bare)
+    result.new_series("sampler-on").add(BENCH_K, sampled)
+    result.notes.append(
+        f"{FLOWS} flows, best of {ROUNDS}; {DEFAULT_HZ:g} Hz captured "
+        f"up to {samples} samples for "
+        f"{(sampled - bare) / bare:+.1%} vs sampler-off"
+    )
+    return result
+
+
+def test_bench_sampler_overhead(once):
+    result = once(run_overhead_comparison)
+    show(result)
+    bare = result.get("sampler-off").points[BENCH_K]
+    sampled = result.get("sampler-on").points[BENCH_K]
+    assert sampled - bare <= bare * OVERHEAD_FRACTION + JITTER_FLOOR_S

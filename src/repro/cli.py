@@ -287,6 +287,28 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="free-form session label recorded in the file")
     p.set_defaults(handler=_bench_handler)
 
+    p = sub.add_parser("hotspots",
+                       help="run the sampling-profiler campaign battery "
+                            "and record a durable HOTSPOTS_<seq>.json")
+    p.add_argument("--k", type=int, default=32,
+                   help="fat-tree parameter for the build/convert/KSP "
+                        "stages (default 32; MCF and flowsim stages are "
+                        "capped internally)")
+    p.add_argument("--hz", type=float, default=97.0,
+                   help="sampling rate; a prime avoids aliasing "
+                        "(default 97; raise for short campaigns)")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="artifact to write (default: the next free "
+                        "repo-root HOTSPOTS_<seq>.json)")
+    p.add_argument("--label", default="hotspots",
+                   help="free-form campaign label recorded in the file")
+    p.add_argument("--top", type=int, default=60,
+                   help="functions to keep in the artifact (default 60)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--flows", type=int, default=200,
+                   help="flow count for the flowsim FCT stage")
+    p.set_defaults(handler=_hotspots_handler)
+
     p = sub.add_parser("info",
                        help="package version, dependencies, telemetry sinks")
     p.set_defaults(handler=_info_handler)
@@ -393,6 +415,43 @@ def _bench_handler(args) -> int:
         print(f"  {entry['wall_s']:>10.4f}s  {key}")
     print("compare sessions with: python -m tools.perfreport compare "
           "BASE NEW (see docs/performance.md)")
+    return 0
+
+
+def _hotspots_handler(args) -> int:
+    """Run the hotspot campaign and write one HOTSPOTS_<seq>.json."""
+    from pathlib import Path
+
+    from repro.errors import ReproError
+    from repro.experiments.hotspot_campaign import run_campaign
+    from repro.obs import bench as bench_sessions
+    from repro.obs import hotspots as hotspot_docs
+
+    if args.k < 4 or args.k % 2:
+        print(f"hotspots: k must be an even number >= 4, got {args.k}",
+              file=sys.stderr)
+        return 2
+    root = bench_sessions.repo_root()
+    out = (Path(args.out) if args.out
+           else hotspot_docs.next_hotspots_path(root))
+    result = run_campaign(k=args.k, hz=args.hz, seed=args.seed,
+                          flows=args.flows)
+    document = hotspot_docs.build_document(
+        result.profile, result.stages, k=args.k, label=args.label,
+        top=args.top, root=root)
+    try:
+        hotspot_docs.write_document(out, document)
+    except ReproError as exc:
+        print(f"hotspots: {exc}", file=sys.stderr)
+        return 1
+    obs.event("perf.hotspot_session", out=str(out),
+              functions=len(document["functions"]),
+              samples=result.profile.samples)
+    print(hotspot_docs.render_document(document, top=args.top))
+    print(f"\nhotspots: wrote {out} — {result.profile.samples} samples, "
+          f"{len(document['functions'])} functions")
+    print("inspect with: python -m tools.perfreport hotspots "
+          f"{out.name} (see docs/performance.md)")
     return 0
 
 
@@ -519,13 +578,21 @@ def _info_handler(args) -> int:
     else:
         print(f"lint: {capability_line()}")
     from repro.obs import bench as bench_sessions
+    from repro.obs import hotspots as hotspot_docs
 
-    sessions = bench_sessions.bench_paths(bench_sessions.repo_root())
+    root = bench_sessions.repo_root()
+    sessions = bench_sessions.bench_paths(root)
+    campaigns = hotspot_docs.hotspot_paths(root)
     print(
         "perf: span-tree profiler + folded-stack export "
         "(python -m tools.perfreport profile/flamegraph), "
         f"bench trajectory {len(sessions)} BENCH_*.json session(s) "
         "(flattree bench, docs/performance.md)"
+    )
+    print(
+        "hotspots: sampling profiler + progress heartbeats, "
+        f"{len(campaigns)} HOTSPOTS_*.json campaign(s) "
+        "(flattree hotspots, python -m tools.perfreport hotspots)"
     )
     return 0
 

@@ -208,6 +208,9 @@ class HealthAggregator:
         self.links: Dict[str, LinkRollup] = {}
         self.metrics: Dict[str, MetricRollup] = {}
         self.event_counts: Dict[str, EventRollup] = {}
+        #: Latest ``progress.heartbeat`` payload per phase name — the
+        #: long-run progress plane the ``top`` dashboard renders.
+        self.progress: Dict[str, Dict[str, object]] = {}
         #: Open dark windows: link -> down_t.
         self.dark_open: Dict[str, float] = {}
         #: Cumulative closed dark time (link-seconds).
@@ -289,6 +292,16 @@ class HealthAggregator:
                 rollup = EventRollup(name, self.window)
                 self.event_counts[name] = rollup
             rollup.record(None if t is None else float(t))
+            if name == "progress.heartbeat":
+                phase = event.get("phase")
+                if isinstance(phase, str) and phase:
+                    self.progress[phase] = {
+                        "done": event.get("done"),
+                        "total": event.get("total"),
+                        "elapsed_s": event.get("elapsed_s"),
+                        "eta_s": event.get("eta_s"),
+                        "rss_kb": event.get("rss_kb"),
+                    }
         # span events carry phase timings already rolled up by
         # repro.obs.perf; the health plane does not re-aggregate them.
 

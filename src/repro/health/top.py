@@ -2,8 +2,9 @@
 
 Renders the health aggregator's state as a fixed-width ASCII frame:
 per-link utilization bars for the hottest links, active alerts, SLO
-error budgets, and conversion progress (downtime ledger + reconfigure
-activity).  The renderer is a pure function of aggregator state, so
+error budgets, long-run progress heartbeats (``progress.heartbeat``
+done/total bars with ETA and RSS), and conversion progress (downtime
+ledger + reconfigure activity).  The renderer is a pure function of aggregator state, so
 ``--once`` frames are deterministic and testable; live mode just
 reprints the frame behind an ANSI home/clear sequence every
 ``refresh_events`` consumed events (and can ``--follow`` a trace file
@@ -45,6 +46,13 @@ def bar(fraction: float, cells: int = BAR_CELLS) -> str:
     fraction = min(max(fraction, 0.0), 1.0)
     filled = int(round(fraction * cells))
     return "[" + "#" * filled + "-" * (cells - filled) + "]"
+
+
+def _as_int(value: object) -> int:
+    """Best-effort integer for wire fields (0 when absent/malformed)."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return 0
+    return int(value)
 
 
 def render_frame(aggregator: HealthAggregator, k: int = 10) -> str:
@@ -97,6 +105,24 @@ def render_frame(aggregator: HealthAggregator, k: int = 10) -> str:
             f"  {str(snap['slo']):<22.22} {bar(frac)} "
             f"{remaining:8.4f}/{budget:g} left{flag}"
         )
+
+    if aggregator.progress:
+        lines.append("-" * WIDTH)
+        lines.append("progress (latest heartbeat per phase):")
+        for phase in sorted(aggregator.progress):
+            beat = aggregator.progress[phase]
+            done = _as_int(beat.get("done"))
+            total = _as_int(beat.get("total"))
+            frac = done / total if total > 0 else 0.0
+            detail = f"{done}/{total}" if total > 0 else f"{done} done"
+            eta = beat.get("eta_s")
+            if isinstance(eta, (int, float)) and not isinstance(eta, bool):
+                detail += f"  eta {float(eta):.1f}s"
+            rss = beat.get("rss_kb")
+            if isinstance(rss, (int, float)) and not isinstance(rss, bool):
+                detail += f"  rss {float(rss) / 1024:.0f}M"
+            lines.append(
+                f"  {phase:<24.24} {bar(frac, cells=16)} {detail}")
 
     lines.append("-" * WIDTH)
     lines.append(

@@ -56,7 +56,14 @@ from repro.obs.sinks import (
     StreamSink,
 )
 from repro.obs.perf import NameStats, Profile, SpanNode
+from repro.obs.progress import ProgressTracker, read_rss_kb
+from repro.obs.sampler import (
+    FunctionStat,
+    SampleProfile,
+    SamplingProfiler,
+)
 from repro.obs.trace import (
+    active_span_path,
     TRACEMALLOC_ENV,
     Span,
     current_sink,
@@ -78,6 +85,7 @@ __all__ = [
     "Counter",
     "Ewma",
     "FileSink",
+    "FunctionStat",
     "Gauge",
     "Histogram",
     "MemorySink",
@@ -85,6 +93,9 @@ __all__ = [
     "NameStats",
     "NullSink",
     "Profile",
+    "ProgressTracker",
+    "SampleProfile",
+    "SamplingProfiler",
     "Sink",
     "Span",
     "SpanNode",
@@ -93,6 +104,7 @@ __all__ = [
     "TRACEMALLOC_ENV",
     "Timer",
     "WindowedQuantile",
+    "active_span_path",
     "current_sink",
     "disable",
     "enable",
@@ -105,6 +117,7 @@ __all__ = [
     "observe",
     "publish",
     "quantile_summary",
+    "read_rss_kb",
     "registry",
     "render_table",
     "set_gauge",

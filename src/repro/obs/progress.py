@@ -1,0 +1,163 @@
+"""Long-run progress heartbeats: phase, done/total, monotone ETA, RSS.
+
+At mega-fabric scale (k=48/64) a single build or solve runs for
+minutes; without a progress plane the telemetry bus goes dark between
+span exits.  :class:`ProgressTracker` fixes that: instrumented loops
+call :meth:`~ProgressTracker.advance` per unit of work and the tracker
+emits throttled ``progress.heartbeat`` events through the existing bus
+(:func:`repro.obs.trace.event`), so ``flattree top --follow`` and the
+health plane see live done/total, an ETA, and process memory
+watermarks while the build is still running.
+
+Design points:
+
+* **Disabled is near-free.**  ``advance`` does one enabled check and
+  an integer add when telemetry is off — no clock read, no I/O.
+* **Throttled.**  At most one heartbeat per ``interval_s`` (default
+  1 s) regardless of item rate, plus a final one from ``finish``.
+* **Monotone ETA.**  The estimate derives from the overall average
+  rate and is additionally clamped to never exceed the previously
+  published value, so a live dashboard never shows the ETA climbing
+  (it may stall under slowdown, which is honest: the clamp trades
+  responsiveness-to-slowdown for a non-jittering display).
+* **Memory watermarks.**  Each heartbeat carries current RSS (from
+  ``/proc/self/status``, falling back to ``resource.getrusage``), the
+  peak RSS observed by this tracker, and — when :mod:`tracemalloc` is
+  tracing (``--trace-malloc``) — the traced-allocation peak.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from types import TracebackType
+from typing import Callable, Dict, Optional, Type
+
+from repro.obs.trace import enabled, event
+
+__all__ = ["ProgressTracker", "read_rss_kb"]
+
+#: Default minimum spacing between heartbeats, in seconds.
+DEFAULT_INTERVAL_S = 1.0
+
+
+def read_rss_kb() -> Optional[float]:
+    """Current resident set size in KiB, or ``None`` if unreadable.
+
+    Reads ``/proc/self/status`` (Linux); falls back to
+    ``resource.getrusage`` peak RSS (which is a high-watermark, not a
+    current value — still useful as a memory signal on non-Linux).
+    """
+    try:
+        with open("/proc/self/status", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return float(line.split()[1])
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+        return float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    except (ImportError, OSError, ValueError):
+        return None
+
+
+class ProgressTracker:
+    """Heartbeat emitter for one named phase of a long run.
+
+    ``total`` is the expected item count (0 = unknown: heartbeats
+    still flow, without an ETA).  ``clock`` is injectable for
+    deterministic tests and defaults to :func:`time.monotonic`.
+
+    Usage::
+
+        tracker = obs.ProgressTracker("topology.build_clos", total=pods)
+        for pod in range(pods):
+            ... wire pod ...
+            tracker.advance()
+        tracker.finish()
+
+    or as a context manager (``finish`` runs on exit).
+    """
+
+    def __init__(self, phase: str, total: int = 0, *,
+                 interval_s: float = DEFAULT_INTERVAL_S,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        self.phase = phase
+        self.total = max(0, int(total))
+        self.interval_s = interval_s
+        self._clock: Callable[[], float] = (
+            clock if clock is not None else time.monotonic)
+        self._start = self._clock()
+        self._done = 0
+        self._last_emit: Optional[float] = None
+        self._eta_published = float("inf")
+        self._rss_peak_kb = 0.0
+        self._finished = False
+
+    @property
+    def done(self) -> int:
+        return self._done
+
+    def eta_s(self) -> Optional[float]:
+        """Monotone ETA estimate in seconds (``None`` when unknowable)."""
+        return self._eta(self._clock())
+
+    def advance(self, n: int = 1) -> None:
+        """Record ``n`` completed items; maybe emit a heartbeat."""
+        self._done += n
+        if not enabled():
+            return
+        now = self._clock()
+        if (self._last_emit is not None
+                and now - self._last_emit < self.interval_s):
+            return
+        self._emit(now)
+
+    def finish(self) -> None:
+        """Emit one final heartbeat (idempotent)."""
+        if self._finished:
+            return
+        self._finished = True
+        if not enabled():
+            return
+        self._emit(self._clock())
+
+    def __enter__(self) -> "ProgressTracker":
+        return self
+
+    def __exit__(self, exc_type: Optional[Type[BaseException]],
+                 exc: Optional[BaseException],
+                 tb: Optional[TracebackType]) -> bool:
+        self.finish()
+        return False
+
+    def _eta(self, now: float) -> Optional[float]:
+        """Average-rate ETA, clamped to the last published value."""
+        if self.total <= 0 or self._done <= 0:
+            return None
+        if self._done >= self.total:
+            return 0.0
+        elapsed = max(0.0, now - self._start)
+        raw = (self.total - self._done) * elapsed / self._done
+        return min(raw, self._eta_published)
+
+    def _emit(self, now: float) -> None:
+        self._last_emit = now
+        elapsed = max(0.0, now - self._start)
+        eta = self._eta(now)
+        if eta is not None:
+            self._eta_published = eta
+        rss = read_rss_kb()
+        if rss is not None:
+            self._rss_peak_kb = max(self._rss_peak_kb, rss)
+        extra: Dict[str, object] = {}
+        if eta is not None:
+            extra["eta_s"] = eta
+        if rss is not None:
+            extra["rss_kb"] = rss
+            extra["rss_peak_kb"] = self._rss_peak_kb
+        if tracemalloc.is_tracing():
+            extra["traced_peak_kb"] = tracemalloc.get_traced_memory()[1] / 1024
+        event("progress.heartbeat", phase=self.phase, done=self._done,
+              total=self.total, elapsed_s=elapsed, **extra)

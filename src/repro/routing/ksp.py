@@ -57,9 +57,13 @@ def build_ksp_table(
     """
     table = RoutingTable(name=f"ksp{k}[{net.name}]")
     memo: dict = {}
+    pair_list = list(pairs)
+    progress = obs.ProgressTracker("routing.build_ksp_table",
+                                   total=len(pair_list))
     with obs.span("build_ksp_table", k=k, net=net.name):
-        for src, dst in pairs:
+        for src, dst in pair_list:
             if src == dst:
+                progress.advance()
                 continue
             if (src, dst) in memo:
                 obs.incr("routing.ksp.memo_hits")
@@ -68,6 +72,8 @@ def build_ksp_table(
                 paths = k_shortest_paths(net, src, dst, k=k)
                 memo[(src, dst)] = paths
             table.add(paths)
+            progress.advance()
+        progress.finish()
     return table
 
 

@@ -1,0 +1,47 @@
+"""The hotspot campaign battery (tiny k so the suite stays fast)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.experiments.hotspot_campaign import run_campaign
+from repro.obs import hotspots
+from repro.obs.sinks import MemorySink
+
+STAGE_NAMES = ["build", "convert", "ksp", "mcf", "flowsim"]
+
+
+@pytest.fixture()
+def clean_bus():
+    obs.disable()
+    obs.registry.reset()
+    yield
+    obs.disable()
+    obs.registry.reset()
+
+
+def test_campaign_runs_all_stages_and_builds_a_valid_document(clean_bus):
+    result = run_campaign(k=4, hz=331.0, seed=0, flows=24)
+    assert [s["name"] for s in result.stages] == STAGE_NAMES
+    for stage in result.stages:
+        assert str(stage["span"]).startswith("hotspots.campaign/hotspots.")
+        assert stage["wall_s"] >= 0.0
+    document = hotspots.build_document(
+        result.profile, result.stages, k=4, label="test")
+    assert hotspots.validate_document(document) == []
+    # The campaign enabled telemetry itself and restored it after.
+    assert not obs.enabled()
+
+
+def test_campaign_respects_an_already_enabled_bus(clean_bus):
+    sink = MemorySink()
+    obs.enable(sink)
+    run_campaign(k=4, hz=331.0, seed=0, flows=24)
+    assert obs.enabled()  # left on: the campaign did not own it
+    names = {e.get("name") for e in sink.events if e.get("kind") == "event"}
+    assert {"sampler.start", "sampler.flush", "sampler.stop"} <= names
+    span_paths = {e.get("path") for e in sink.events
+                  if e.get("kind") == "span"}
+    for name in STAGE_NAMES:
+        assert f"hotspots.campaign/hotspots.{name}" in span_paths

@@ -1,0 +1,61 @@
+"""Sequence discovery for durable BENCH_<seq>.json sessions."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import bench
+
+
+def touch(tmp_path, name):
+    (tmp_path / name).write_text("{}\n", encoding="utf-8")
+
+
+class TestBenchPaths:
+    def test_empty_directory(self, tmp_path):
+        assert bench.bench_paths(tmp_path) == []
+
+    def test_sorted_numerically_not_lexically(self, tmp_path):
+        for name in ("BENCH_10.json", "BENCH_2.json", "BENCH_1.json"):
+            touch(tmp_path, name)
+        names = [p.name for p in bench.bench_paths(tmp_path)]
+        assert names == ["BENCH_1.json", "BENCH_2.json", "BENCH_10.json"]
+
+    def test_gaps_in_the_sequence_survive(self, tmp_path):
+        touch(tmp_path, "BENCH_1.json")
+        touch(tmp_path, "BENCH_3.json")
+        names = [p.name for p in bench.bench_paths(tmp_path)]
+        assert names == ["BENCH_1.json", "BENCH_3.json"]
+
+    def test_free_form_tags_ignored(self, tmp_path):
+        touch(tmp_path, "BENCH_1.json")
+        touch(tmp_path, "BENCH_smoke.json")
+        touch(tmp_path, "BENCH_.json")
+        touch(tmp_path, "BENCH_1.json.bak")
+        names = [p.name for p in bench.bench_paths(tmp_path)]
+        assert names == ["BENCH_1.json"]
+
+
+class TestNextBenchPath:
+    def test_first_slot_is_one(self, tmp_path):
+        assert bench.next_bench_path(tmp_path).name == "BENCH_1.json"
+
+    def test_next_is_max_plus_one_even_with_gaps(self, tmp_path):
+        touch(tmp_path, "BENCH_1.json")
+        touch(tmp_path, "BENCH_3.json")
+        assert bench.next_bench_path(tmp_path).name == "BENCH_4.json"
+
+    def test_tags_never_claim_a_slot(self, tmp_path):
+        touch(tmp_path, "BENCH_smoke.json")
+        assert bench.next_bench_path(tmp_path).name == "BENCH_1.json"
+
+
+class TestLoadSession:
+    def test_rejects_non_object(self, tmp_path):
+        path = tmp_path / "BENCH_1.json"
+        path.write_text(json.dumps([1, 2]), encoding="utf-8")
+        with pytest.raises(ReproError, match="not a JSON object"):
+            bench.load_session(path)

@@ -1,0 +1,114 @@
+"""ProgressTracker: heartbeat emission, throttling, monotone ETA."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs.contract import check_event
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+def heartbeats(sink):
+    return [e for e in sink.events if e.get("name") == "progress.heartbeat"]
+
+
+class TestDisabledPath:
+    def test_counts_without_emitting(self, clean_obs):
+        tracker = obs.ProgressTracker("phase", total=5)
+        tracker.advance(3)
+        tracker.finish()
+        assert tracker.done == 3
+
+
+class TestHeartbeats:
+    def test_schema_valid_on_the_wire(self, memory_sink):
+        tracker = obs.ProgressTracker("build", total=4, interval_s=0.0)
+        for _ in range(4):
+            tracker.advance()
+        tracker.finish()
+        beats = heartbeats(memory_sink)
+        assert beats
+        for beat in beats:
+            assert check_event(beat) == []
+            assert beat["phase"] == "build"
+
+    def test_throttled_by_interval(self, memory_sink):
+        clock = FakeClock()
+        tracker = obs.ProgressTracker("p", total=100, interval_s=10.0,
+                                      clock=clock)
+        for _ in range(50):
+            clock.t += 0.1  # 5s of work: only the first advance emits
+            tracker.advance()
+        assert len(heartbeats(memory_sink)) == 1
+
+    def test_finish_always_emits_and_is_idempotent(self, memory_sink):
+        tracker = obs.ProgressTracker("p", total=2, interval_s=1000.0)
+        tracker.advance(2)
+        tracker.finish()
+        tracker.finish()
+        beats = heartbeats(memory_sink)
+        assert len(beats) == 2  # first advance + the single finish
+        assert beats[-1]["done"] == 2
+
+    def test_memory_fields_present_on_linux(self, memory_sink):
+        tracker = obs.ProgressTracker("p", total=1, interval_s=0.0)
+        tracker.advance()
+        beat = heartbeats(memory_sink)[0]
+        if obs.read_rss_kb() is not None:
+            assert beat["rss_kb"] > 0
+            assert beat["rss_peak_kb"] >= beat["rss_kb"]
+
+
+class TestMonotoneEta:
+    def test_eta_non_increasing_under_steady_rate(self, memory_sink):
+        clock = FakeClock()
+        tracker = obs.ProgressTracker("steady", total=10, interval_s=0.0,
+                                      clock=clock)
+        for _ in range(10):
+            clock.t += 1.0  # one item per second, perfectly steady
+            tracker.advance()
+        etas = [b["eta_s"] for b in heartbeats(memory_sink) if "eta_s" in b]
+        assert len(etas) == 10
+        assert all(a >= b for a, b in zip(etas, etas[1:]))
+        assert etas[-1] == 0.0
+
+    def test_eta_clamped_when_rate_collapses(self, memory_sink):
+        clock = FakeClock()
+        tracker = obs.ProgressTracker("stall", total=10, interval_s=0.0,
+                                      clock=clock)
+        clock.t = 1.0
+        tracker.advance(5)  # 5 items in 1s -> raw ETA 1s
+        clock.t = 100.0     # then a huge stall: raw ETA would explode
+        tracker.advance()
+        etas = [b["eta_s"] for b in heartbeats(memory_sink) if "eta_s" in b]
+        assert etas[1] <= etas[0]
+
+    def test_no_eta_without_total(self, memory_sink):
+        tracker = obs.ProgressTracker("unknown", interval_s=0.0)
+        tracker.advance()
+        beat = heartbeats(memory_sink)[0]
+        assert "eta_s" not in beat
+        assert beat["total"] == 0
+
+    def test_eta_s_accessor(self, clean_obs):
+        clock = FakeClock()
+        tracker = obs.ProgressTracker("p", total=4, clock=clock)
+        assert tracker.eta_s() is None
+        clock.t = 2.0
+        tracker.advance(2)
+        assert tracker.eta_s() == pytest.approx(2.0)
+
+
+class TestContextManager:
+    def test_exit_finishes(self, memory_sink):
+        with obs.ProgressTracker("ctx", total=1, interval_s=1000.0) as t:
+            t.advance()
+        assert heartbeats(memory_sink)[-1]["done"] == 1

@@ -1,0 +1,127 @@
+"""SamplingProfiler: capture, span attribution, folded export, events."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.contract import check_event
+from repro.obs.sampler import SampleProfile, SamplingProfiler
+
+
+def spin(seconds):
+    """Burn CPU in this frame so the sampler has something to catch."""
+    deadline = time.perf_counter() + seconds
+    total = 0
+    while time.perf_counter() < deadline:
+        total += sum(range(200))
+    return total
+
+
+class TestCapture:
+    def test_samples_the_calling_thread(self, clean_obs):
+        with SamplingProfiler(hz=400) as profiler:
+            spin(0.25)
+        profile = profiler.profile
+        assert profile is not None
+        assert profile.samples > 10
+        assert profile.duration_s == pytest.approx(0.25, abs=0.2)
+        keys = [stat.key for stat in profile.aggregate()]
+        assert any(key.endswith(".spin") for key in keys)
+
+    def test_span_attribution(self, memory_sink):
+        with SamplingProfiler(hz=400) as profiler:
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    spin(0.25)
+        profile = profiler.profile
+        spin_stat = next(stat for stat in profile.aggregate()
+                         if stat.key.endswith(".spin"))
+        assert "outer/inner" in spin_stat.spans
+
+    def test_cannot_restart(self, clean_obs):
+        profiler = SamplingProfiler(hz=100)
+        profiler.start()
+        profiler.stop()
+        with pytest.raises(RuntimeError, match="restart"):
+            profiler.start()
+        with pytest.raises(RuntimeError, match="never started"):
+            SamplingProfiler().stop()
+
+    def test_rejects_bad_rate(self, clean_obs):
+        with pytest.raises(ValueError, match="positive"):
+            SamplingProfiler(hz=0)
+
+
+class TestProfileMath:
+    def profile(self):
+        counts = {
+            ("a/b", ("mod.outer", "mod.leaf")): 6,
+            ("", ("mod.outer",)): 4,
+        }
+        return SampleProfile(counts, samples=10, duration_s=1.0, hz=10.0)
+
+    def test_period_and_rate(self):
+        profile = self.profile()
+        assert profile.period_s == pytest.approx(0.1)
+        assert profile.effective_hz == pytest.approx(10.0)
+        assert SampleProfile({}, 0, 0.0, 10.0).period_s == 0.0
+        assert SampleProfile({}, 0, 0.0, 10.0).effective_hz == 0.0
+
+    def test_self_and_cum_attribution(self):
+        stats = {s.key: s for s in self.profile().aggregate()}
+        assert stats["mod.leaf"].self_samples == 6
+        assert stats["mod.leaf"].cum_samples == 6
+        assert stats["mod.outer"].self_samples == 4
+        assert stats["mod.outer"].cum_samples == 10
+        assert stats["mod.leaf"].self_s == pytest.approx(0.6)
+        assert stats["mod.outer"].cum_s == pytest.approx(1.0)
+        assert stats["mod.leaf"].spans == {"a/b": 6}
+
+    def test_recursion_not_double_counted(self):
+        counts = {("", ("mod.f", "mod.f", "mod.f")): 5}
+        profile = SampleProfile(counts, 5, 1.0, 10.0)
+        stats = profile.aggregate()
+        assert len(stats) == 1
+        assert stats[0].cum_samples == 5
+
+    def test_sorted_by_self_time_then_name(self):
+        stats = self.profile().aggregate()
+        assert [s.key for s in stats] == ["mod.leaf", "mod.outer"]
+
+    def test_folded_format_and_span_prefix(self):
+        lines = self.profile().folded()
+        assert "a;b;mod.outer;mod.leaf 600000" in lines
+        assert "mod.outer 400000" in lines
+        for line in lines:
+            stack, _, weight = line.rpartition(" ")
+            assert stack
+            assert int(weight) > 0
+
+    def test_render_table_mentions_top_function(self):
+        table = self.profile().render_table(top=1)
+        assert "mod.leaf" in table
+        assert "[a/b]" in table
+
+
+class TestWireEvents:
+    def test_start_stop_flush_schema_valid(self, memory_sink):
+        profiler = SamplingProfiler(hz=500)
+        profiler.start()
+        profiler.flush(label="stage-1")
+        spin(0.05)
+        profiler.stop()
+        names = [e["name"] for e in memory_sink.events
+                 if e.get("kind") == "event"]
+        assert names == ["sampler.start", "sampler.flush", "sampler.stop"]
+        for event in memory_sink.events:
+            assert check_event(event) == []
+
+    def test_silent_when_disabled(self, clean_obs):
+        profiler = SamplingProfiler(hz=500)
+        profiler.start()
+        spin(0.05)
+        profile = profiler.stop()
+        assert profile.samples > 0  # sampling works without telemetry

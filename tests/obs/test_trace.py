@@ -277,3 +277,39 @@ class TestInstrumentedPaths:
         assert snap["flowsim.flows_completed"]["value"] == 2
         assert snap["flowsim.events"]["value"] >= 2
         assert snap["flowsim.fairshare_recomputes"]["value"] >= 1
+
+
+class TestActiveSpanPath:
+    """Cross-thread span-path mirror consumed by the sampling profiler."""
+
+    def test_empty_without_spans(self, clean_obs):
+        assert obs.active_span_path() == ""
+
+    def test_tracks_nesting(self, memory_sink):
+        with obs.span("outer"):
+            assert obs.active_span_path() == "outer"
+            with obs.span("inner"):
+                assert obs.active_span_path() == "outer/inner"
+            assert obs.active_span_path() == "outer"
+        assert obs.active_span_path() == ""
+
+    def test_readable_from_another_thread(self, memory_sink):
+        import threading
+
+        target = threading.get_ident()
+        seen = []
+        with obs.span("phase"):
+            worker = threading.Thread(
+                target=lambda: seen.append(obs.active_span_path(target)))
+            worker.start()
+            worker.join()
+            # And the worker thread itself has no active span.
+            assert obs.active_span_path() == "phase"
+        assert seen == ["phase"]
+
+    def test_cleared_on_disable(self, memory_sink):
+        span = obs.span("orphan")
+        span.__enter__()
+        obs.disable()
+        assert obs.active_span_path() == ""
+        span.__exit__(None, None, None)  # guarded pop: must not raise

@@ -100,3 +100,70 @@ def test_reexports_come_from_contract():
     assert check_telemetry.KINDS is contract.KINDS
     assert check_telemetry.KNOWN_EVENT_NAMES is contract.KNOWN_EVENT_NAMES
     assert check_telemetry.check_line is contract.check_line
+
+
+GOOD_SAMPLER_STREAM = [
+    {"ts": 1.0, "name": "sampler.start", "kind": "event", "value": 1,
+     "hz": 97.0},
+    {"ts": 2.0, "name": "sampler.flush", "kind": "event", "value": 1,
+     "samples": 42, "label": "build"},
+    {"ts": 3.0, "name": "sampler.stop", "kind": "event", "value": 1,
+     "samples": 99, "elapsed_s": 2.0},
+]
+
+GOOD_HEARTBEAT = {
+    "ts": 1.5, "name": "progress.heartbeat", "kind": "event", "value": 1,
+    "phase": "topology.build_clos", "done": 3, "total": 8,
+    "elapsed_s": 0.4, "eta_s": 0.6, "rss_kb": 51200.0,
+    "rss_peak_kb": 51200.0,
+}
+
+GOOD_HOTSPOT_SESSION = {
+    "ts": 9.0, "name": "perf.hotspot_session", "kind": "event", "value": 1,
+    "out": "HOTSPOTS_1.json", "functions": 40, "samples": 1234,
+}
+
+
+def test_sampler_and_progress_stream_passes(tmp_path, capsys):
+    events = GOOD_SAMPLER_STREAM + [GOOD_HEARTBEAT, GOOD_HOTSPOT_SESSION]
+    path = write_events(tmp_path, events)
+    assert check_telemetry.main([path]) == 0
+    assert "5 events" in capsys.readouterr().out
+
+
+def test_sampler_start_rejects_non_positive_hz(tmp_path, capsys):
+    bad = dict(GOOD_SAMPLER_STREAM[0], hz=0)
+    path = write_events(tmp_path, [bad])
+    assert check_telemetry.main([path]) == 1
+    assert "'hz' must be positive" in capsys.readouterr().err
+
+
+def test_sampler_stop_requires_sample_count(tmp_path, capsys):
+    bad = dict(GOOD_SAMPLER_STREAM[2])
+    del bad["samples"]
+    path = write_events(tmp_path, [bad])
+    assert check_telemetry.main([path]) == 1
+    assert "'samples'" in capsys.readouterr().err
+
+
+def test_heartbeat_requires_phase_and_counts(tmp_path, capsys):
+    for missing in ("phase", "done", "total", "elapsed_s"):
+        bad = dict(GOOD_HEARTBEAT)
+        del bad[missing]
+        path = write_events(tmp_path, [bad])
+        assert check_telemetry.main([path]) == 1, missing
+        assert f"'{missing}'" in capsys.readouterr().err
+
+
+def test_heartbeat_rejects_negative_eta(tmp_path, capsys):
+    bad = dict(GOOD_HEARTBEAT, eta_s=-1.0)
+    path = write_events(tmp_path, [bad])
+    assert check_telemetry.main([path]) == 1
+    assert "'eta_s'" in capsys.readouterr().err
+
+
+def test_hotspot_session_requires_out(tmp_path, capsys):
+    bad = dict(GOOD_HOTSPOT_SESSION, out="")
+    path = write_events(tmp_path, [bad])
+    assert check_telemetry.main([path]) == 1
+    assert "'out'" in capsys.readouterr().err

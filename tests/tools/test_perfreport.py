@@ -232,3 +232,97 @@ class TestProfileCli:
         garbage.write_text("{not json\n", encoding="utf-8")
         assert main(["flamegraph", str(garbage)]) == 2
         assert "not valid JSONL" in capsys.readouterr().err
+
+
+class TestCompareAutoSelect:
+    def test_picks_two_newest_numbered_sessions(self, tmp_path, capsys):
+        write_session(tmp_path, "BENCH_1.json",
+                      make_session({"a.py::t": 0.5}))
+        write_session(tmp_path, "BENCH_2.json",
+                      make_session({"a.py::t": 0.5}))
+        write_session(tmp_path, "BENCH_10.json",
+                      make_session({"a.py::t": 0.5}))
+        write_session(tmp_path, "BENCH_smoke.json",
+                      make_session({"a.py::t": 99.0}))
+        assert main(["compare", "--root", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "auto-selected BENCH_2.json (base) vs BENCH_10.json" in out
+        assert "0 regression(s)" in out
+
+    def test_fewer_than_two_sessions_exits_zero_with_message(
+            self, tmp_path, capsys):
+        write_session(tmp_path, "BENCH_1.json",
+                      make_session({"a.py::t": 0.5}))
+        assert main(["compare", "--root", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "found 1 BENCH_<seq>.json" in out
+        assert "flattree bench" in out
+
+    def test_empty_root_exits_zero(self, tmp_path, capsys):
+        assert main(["compare", "--root", str(tmp_path)]) == 0
+        assert "found 0" in capsys.readouterr().out
+
+    def test_single_positional_is_a_usage_error(self, tmp_path, capsys):
+        path = write_session(tmp_path, "BENCH_1.json",
+                             make_session({"a.py::t": 0.5}))
+        assert main(["compare", path]) == 2
+        assert "both BASE and NEW" in capsys.readouterr().err
+
+    def test_auto_selected_regression_still_gates(self, tmp_path, capsys):
+        write_session(tmp_path, "BENCH_1.json",
+                      make_session({"a.py::t": 0.5}))
+        write_session(tmp_path, "BENCH_2.json",
+                      make_session({"a.py::t": 5.0}))
+        assert main(["compare", "--root", str(tmp_path)]) == 1
+        assert "regression" in capsys.readouterr().out
+
+
+def write_hotspots(tmp_path):
+    from repro.obs import hotspots
+    from repro.obs.sampler import SampleProfile
+
+    counts = {
+        ("hotspots.campaign/hotspots.mcf", ("mod.solve", "mod.dijkstra")): 8,
+        ("hotspots.campaign/hotspots.build", ("mod.build",)): 2,
+    }
+    profile = SampleProfile(counts, samples=10, duration_s=2.0, hz=97.0)
+    stages = [
+        {"name": "build", "span": "hotspots.campaign/hotspots.build",
+         "wall_s": 0.5},
+        {"name": "mcf", "span": "hotspots.campaign/hotspots.mcf",
+         "wall_s": 1.5},
+    ]
+    document = hotspots.build_document(profile, stages, k=8, label="test")
+    path = tmp_path / "HOTSPOTS_1.json"
+    hotspots.write_document(path, document)
+    return str(path)
+
+
+class TestHotspotsCli:
+    def test_renders_valid_artifact(self, tmp_path, capsys):
+        assert main(["hotspots", write_hotspots(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "mod.dijkstra" in out
+        assert "mcf" in out
+
+    def test_json_format_round_trips(self, tmp_path, capsys):
+        assert main(["hotspots", write_hotspots(tmp_path),
+                     "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["samples"] == 10
+
+    def test_folded_re_export(self, tmp_path, capsys):
+        folded = tmp_path / "campaign.folded"
+        assert main(["hotspots", write_hotspots(tmp_path),
+                     "--folded", str(folded)]) == 0
+        lines = folded.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            stack, _, weight = line.rpartition(" ")
+            assert stack and int(weight) > 0
+
+    def test_bad_artifact_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "HOTSPOTS_1.json"
+        bad.write_text('{"schema": "nope"}\n', encoding="utf-8")
+        assert main(["hotspots", str(bad)]) == 2
+        assert "perfreport:" in capsys.readouterr().err

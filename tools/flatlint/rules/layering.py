@@ -10,7 +10,8 @@ module scope is not.
 A second sub-check guards :mod:`repro.obs` internals: outside the obs
 package itself, only the public facade (``repro.obs``) and its
 published submodules (``sinks``, ``stats``, ``contract``, ``perf``,
-``bench``) may be imported — ``repro.obs.trace`` / ``registry`` /
+``bench``, ``sampler``, ``progress``, ``hotspots``) may be imported —
+``repro.obs.trace`` / ``registry`` /
 ``render`` are
 implementation details.  Both checks apply to ``repro.*`` modules
 only; tests and tools may poke wherever they need.
@@ -60,7 +61,8 @@ ALLOWED: Dict[str, FrozenSet[str]] = {
 #: repro.obs submodules that are public API; everything else is
 #: internal to the obs package.
 PUBLIC_OBS_SUBMODULES = frozenset({
-    "sinks", "stats", "contract", "perf", "bench"})
+    "sinks", "stats", "contract", "perf", "bench", "sampler", "progress",
+    "hotspots"})
 
 
 def _package_of(module: str) -> str:

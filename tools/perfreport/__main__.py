@@ -1,13 +1,19 @@
-"""CLI: ``python -m tools.perfreport <compare|profile|flamegraph>``.
+"""CLI: ``python -m tools.perfreport <compare|profile|flamegraph|hotspots>``.
 
-* ``compare BASE NEW`` — the bench regression gate over two
-  ``BENCH_*.json`` sessions.  Exit 0 clean, 1 regressions, 2 usage
-  errors — the same convention as ``tools.flatlint``.
+* ``compare [BASE NEW]`` — the bench regression gate over two
+  ``BENCH_*.json`` sessions; with no paths it auto-selects the two
+  newest numbered repo-root sessions (exit 0 with a message when fewer
+  than two exist).  Exit 0 clean, 1 regressions, 2 usage errors — the
+  same convention as ``tools.flatlint``.
 * ``profile RUN.jsonl`` — reconstruct the span tree of a
   ``--telemetry=RUN.jsonl`` session and print per-name cumulative /
   self time plus the critical path.
 * ``flamegraph RUN.jsonl`` — folded stacks (``a;b;c <usec>``) for
   ``flamegraph.pl`` / speedscope, to stdout or ``--out``.
+* ``hotspots HOTSPOTS_N.json`` — render a sampling-profiler campaign
+  artifact (``flattree hotspots``): stage wall/sample table, top
+  functions by self time with their span context, and ``--folded``
+  re-export of the captured stacks.
 """
 
 from __future__ import annotations
@@ -38,9 +44,28 @@ except ImportError:  # standalone checkout (no installed package)
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    base_path, new_path = args.base, args.new
+    if (base_path is None) != (new_path is None):
+        print("perfreport: pass both BASE and NEW, or neither "
+              "(auto-selects the two newest BENCH_<seq>.json)",
+              file=sys.stderr)
+        return 2
+    if base_path is None:
+        from repro.obs import bench as bench_sessions
+
+        root = Path(args.root) if args.root else bench_sessions.repo_root()
+        sessions = bench_sessions.bench_paths(root)
+        if len(sessions) < 2:
+            print(f"perfreport: found {len(sessions)} BENCH_<seq>.json "
+                  f"session(s) under {root} — need two to compare; "
+                  "record more with flattree bench")
+            return 0
+        base_path, new_path = str(sessions[-2]), str(sessions[-1])
+        print(f"perfreport: auto-selected {Path(base_path).name} (base) "
+              f"vs {Path(new_path).name} (new)")
     try:
-        base = load_session(Path(args.base))
-        new = load_session(Path(args.new))
+        base = load_session(Path(base_path))
+        new = load_session(Path(new_path))
     except ReproError as exc:
         print(f"perfreport: {exc}", file=sys.stderr)
         return 2
@@ -48,7 +73,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         base, new,
         tolerance=args.tolerance,
         min_runtime_s=args.min_runtime,
-        base_label=args.base, new_label=args.new,
+        base_label=base_path, new_label=new_path,
     )
     if args.format == "json":
         print(json.dumps(render_json(comparison), indent=1, sort_keys=True))
@@ -110,6 +135,27 @@ def _cmd_flamegraph(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_hotspots(args: argparse.Namespace) -> int:
+    from repro.obs import hotspots as hotspot_docs
+
+    try:
+        document = hotspot_docs.load_document(Path(args.artifact))
+    except ReproError as exc:
+        print(f"perfreport: {exc}", file=sys.stderr)
+        return 2
+    if args.folded:
+        folded = document.get("folded") or []
+        Path(args.folded).write_text(
+            "\n".join(folded) + ("\n" if folded else ""), encoding="utf-8")
+        print(f"perfreport: wrote {len(folded)} folded stacks to "
+              f"{args.folded}")
+    if args.format == "json":
+        print(json.dumps(document, indent=1, sort_keys=True))
+    else:
+        print(hotspot_docs.render_document(document, top=args.top))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="perfreport",
@@ -121,9 +167,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     sub = parser.add_subparsers(dest="command")
 
     p = sub.add_parser(
-        "compare", help="judge NEW against BASE (both BENCH_*.json)")
-    p.add_argument("base", help="baseline BENCH_*.json")
-    p.add_argument("new", help="candidate BENCH_*.json")
+        "compare", help="judge NEW against BASE (both BENCH_*.json); "
+                        "with no paths, the two newest numbered sessions")
+    p.add_argument("base", nargs="?", default=None,
+                   help="baseline BENCH_*.json (default: second-newest "
+                        "repo-root session)")
+    p.add_argument("new", nargs="?", default=None,
+                   help="candidate BENCH_*.json (default: newest "
+                        "repo-root session)")
+    p.add_argument("--root", default=None, metavar="DIR",
+                   help="directory searched for BENCH_<seq>.json when "
+                        "auto-selecting (default: the repo root)")
     p.add_argument(
         "--tolerance", type=float, default=DEFAULT_TOLERANCE,
         metavar="FRAC",
@@ -152,6 +206,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--out", default=None, metavar="PATH",
                    help="write folded stacks here instead of stdout")
     p.set_defaults(handler=_cmd_flamegraph)
+
+    p = sub.add_parser(
+        "hotspots",
+        help="render a HOTSPOTS_*.json campaign artifact "
+             "(flattree hotspots)")
+    p.add_argument("artifact", help="HOTSPOTS_*.json from flattree hotspots")
+    p.add_argument("--top", type=int, default=20,
+                   help="rows in the function table (default 20)")
+    p.add_argument("--folded", default=None, metavar="PATH",
+                   help="also re-export the folded stacks for "
+                        "flamegraph.pl / speedscope")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.set_defaults(handler=_cmd_hotspots)
 
     args = parser.parse_args(argv)
     if not hasattr(args, "handler"):

@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-session bench-smoke bench-compare figures examples lint clean telemetry-smoke monitor-smoke chaos-smoke health-smoke hotspots-smoke
+.PHONY: install test bench bench-session bench-smoke bench-compare figures examples lint clean telemetry-smoke monitor-smoke chaos-smoke health-smoke hotspots-smoke heal-smoke
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -97,6 +97,23 @@ health-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.cli top --trace health-smoke.jsonl --once > /dev/null
 	rm -f health-smoke.jsonl health-smoke-a.json health-smoke-b.json
 
+# Close the loop end to end: record a hotspot monitor trace, replay it
+# through the remediation plane (exactly a reconvert must complete;
+# HEAL_LEDGER.json is left behind for the CI artifact upload), prove
+# the ledger replays byte-identical, validate the selfheal.* wire
+# events of a telemetry-enabled replay, and run the three-arm regret
+# gate (exit 1 unless the closed loop strictly beats no-op).
+heal-smoke:
+	rm -f heal-smoke.jsonl
+	PYTHONPATH=src $(PYTHON) -m repro.cli --telemetry=heal-smoke.jsonl monitor --k 4 --pattern hotspot --flows 24 > /dev/null
+	PYTHONPATH=src $(PYTHON) -m repro.cli heal heal-smoke.jsonl --expect reconvert --out HEAL_LEDGER.json
+	PYTHONPATH=src $(PYTHON) -m repro.cli heal heal-smoke.jsonl --out heal-smoke-b.json > /dev/null
+	cmp HEAL_LEDGER.json heal-smoke-b.json
+	PYTHONPATH=src $(PYTHON) -m repro.cli --telemetry=heal-smoke-events.jsonl heal heal-smoke.jsonl > /dev/null
+	$(PYTHON) tools/check_telemetry.py heal-smoke-events.jsonl --min-names 3
+	PYTHONPATH=src $(PYTHON) -m repro.cli heal --regret --k 4 --seed 7
+	rm -f heal-smoke.jsonl heal-smoke-b.json heal-smoke-events.jsonl
+
 # Tiny sampling-profiler campaign for CI: a k=8 battery at a high
 # sample rate -> HOTSPOTS_smoke.json, validated by re-rendering it and
 # round-tripping the captured folded stacks through tools.perfreport.
@@ -122,4 +139,5 @@ clean:
 	rm -f BENCH_smoke.json telemetry-smoke.jsonl
 	rm -f HEALTH_REPORT.json HEALTH_REPORT.prom health-smoke*.jsonl health-smoke-*.json
 	rm -f HOTSPOTS_smoke.json hotspots-smoke.folded
+	rm -f HEAL_LEDGER.json heal-smoke*.jsonl heal-smoke-b.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,96 @@
+"""Extension bench: closed-loop remediation overhead over monitor-only.
+
+ISSUE 8 acceptance bar: running the full self-heal loop — the health
+aggregator *plus* the remediation engine polling after every batch —
+may tax a monitored trace drain by at most 5% of its monitor-only wall
+time.  As with the health bench, differencing two full simulator runs
+cannot resolve 5% on a noisy CI box, so the bench drains one captured
+event stream twice at its natural stability:
+
+* monitor-only — the stream pushed through the bare ``NullSink``;
+* loop-attached — the same stream fed to a self-heal aggregator with
+  the :class:`~repro.selfheal.engine.RemediationEngine` polled per
+  event batch (the live-loop cadence), best of ``ROUNDS`` sweeps.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import show
+
+from repro.experiments.common import ExperimentResult
+from repro.obs.sinks import MemorySink, NullSink
+from repro.selfheal.engine import RemediationEngine, new_selfheal_aggregator
+from test_bench_health import monitored_run
+
+BENCH_K = 8
+
+#: ISSUE 8 acceptance bar, mirroring the health plane's: the closed
+#: loop may tax the drain by at most this fraction, plus a small
+#: absolute floor so a millisecond hiccup cannot fail the gate.
+OVERHEAD_FRACTION = 0.05
+JITTER_FLOOR_S = 0.01
+ROUNDS = 5
+
+#: Engine poll cadence, in events — the live loop polls per tail
+#: batch, not per event; 64 models a busy tail read.
+POLL_EVERY = 64
+
+
+def loop_tax(events) -> tuple:
+    """Seconds the closed loop adds to draining *events*, plus stats."""
+    null = NullSink()
+    forward_times = []
+    loop_times = []
+    engine = None
+    aggregator = None
+    for _ in range(ROUNDS):
+        emit = null.emit
+        begin = time.perf_counter()
+        for event in events:
+            emit(event)
+        forward_times.append(time.perf_counter() - begin)
+
+        aggregator = new_selfheal_aggregator()
+        engine = RemediationEngine()
+        emit = null.emit
+        begin = time.perf_counter()
+        for index, event in enumerate(events):
+            emit(event)
+            aggregator.consume(event)
+            if index % POLL_EVERY == 0:
+                engine.poll(aggregator)
+        aggregator.finish()
+        engine.poll(aggregator)
+        loop_times.append(time.perf_counter() - begin)
+    return (max(0.0, min(loop_times) - min(forward_times)),
+            aggregator, engine)
+
+
+def run_overhead_comparison() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="extension: self-heal loop overhead",
+        x_label="k",
+        y_label="wall-clock (s)",
+    )
+    monitored_run(NullSink())  # warm-up, discarded
+    bare = min(monitored_run(NullSink())[0] for _ in range(ROUNDS))
+    _, events = monitored_run(MemorySink())
+    tax, aggregator, engine = loop_tax(events)
+    result.new_series("monitor-only").add(BENCH_K, bare)
+    result.new_series("selfheal-attached").add(BENCH_K, bare + tax)
+    result.notes.append(
+        f"best of {ROUNDS}; loop consumed {aggregator.events} events, "
+        f"ledgered {len(engine.ledger)} decision(s) "
+        f"for +{tax * 1000:.2f} ms ({tax / bare:+.1%} of monitor-only)"
+    )
+    return result
+
+
+def test_bench_selfheal_overhead(once):
+    result = once(run_overhead_comparison)
+    show(result)
+    bare = result.get("monitor-only").points[BENCH_K]
+    judged = result.get("selfheal-attached").points[BENCH_K]
+    assert judged - bare <= bare * OVERHEAD_FRACTION + JITTER_FLOOR_S

@@ -30,6 +30,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Set, Tuple
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.core.converter import ConverterId
 from repro.core.failures import FailureSet, Leg
@@ -140,6 +141,42 @@ class ChaosClock:
         return self.now
 
 
+def _target_label(event: "ChaosEvent") -> str:
+    parts = []
+    for part in event.target:
+        parts.append(part.name.lower() if isinstance(part, enum.Enum)
+                     else str(part))
+    return "-".join(parts)
+
+
+def _audit_recoveries(
+    events: Tuple["ChaosEvent", ...],
+) -> Tuple["ChaosEvent", ...]:
+    """Recoveries targeting a healthy component, audited rather than raised.
+
+    A ``recover`` for a component that never failed (or already
+    recovered) is legitimate whenever something else — the remediation
+    plane, an operator — repaired the plant before the schedule got
+    there.  ``failures_at`` already folds such events as no-ops; this
+    pass makes them *visible*, emitting one ``chaos.recover_noop``
+    audit event per redundant recovery at schedule-construction time.
+    """
+    down: Set[Tuple] = set()
+    redundant: List["ChaosEvent"] = []
+    for event in events:
+        key = (event.kind, frozenset(event.target)
+               if event.kind == CABLE else event.target)
+        if event.action == FAIL:
+            down.add(key)
+        elif key in down:
+            down.discard(key)
+        else:
+            redundant.append(event)
+            obs.event("chaos.recover_noop", component=event.kind,
+                      target=_target_label(event), t=event.t)
+    return tuple(redundant)
+
+
 @dataclass(frozen=True)
 class ChaosSchedule:
     """A deterministic fault-injection schedule.
@@ -158,6 +195,13 @@ class ChaosSchedule:
     scripted_faults: Mapping[Tuple[ConverterId, int], CommandFault] = field(
         default_factory=dict
     )
+    #: Recoveries for components that were healthy when they landed
+    #: (never failed, or already recovered).  They are no-ops by
+    #: construction — ``failures_at`` folds them silently — but each
+    #: is audited with a ``chaos.recover_noop`` event so remediation
+    #: racing the chaos schedule is observable, never an error.
+    redundant_recoveries: Tuple[ChaosEvent, ...] = field(
+        default=(), init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.command_fault_rate <= 1.0:
@@ -167,6 +211,8 @@ class ChaosSchedule:
             )
         ordered = tuple(sorted(self.events, key=lambda e: e.t))
         object.__setattr__(self, "events", ordered)
+        object.__setattr__(
+            self, "redundant_recoveries", _audit_recoveries(ordered))
 
     def is_null(self) -> bool:
         """True when this schedule can never inject anything."""

@@ -272,6 +272,48 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="hot links shown per frame")
     p.set_defaults(handler=_top_handler)
 
+    p = sub.add_parser("heal",
+                       help="closed-loop remediation: replay a telemetry "
+                            "trace through the self-healing plane, tail "
+                            "it live, or run the regret/soak harnesses")
+    p.add_argument("trace", nargs="?", default=None, metavar="TRACE",
+                   help="telemetry JSONL file to replay (omit with "
+                        "--regret/--soak)")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="print the remediation ledger as deterministic "
+                        "JSON instead of text")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="also write the JSON ledger to PATH")
+    p.add_argument("--expect", default=None, metavar="ACTIONS",
+                   help="comma-separated action kinds the loop must have "
+                        "completed, exactly ('' = none); exit 1 on "
+                        "mismatch")
+    p.add_argument("--follow", action="store_true",
+                   help="live mode: tail TRACE for new events until "
+                        "Ctrl-C (or --max-polls consecutive empty reads)")
+    p.add_argument("--poll", type=float, default=0.25, metavar="S",
+                   help="--follow: seconds between tail reads")
+    p.add_argument("--max-polls", type=int, default=None, metavar="N",
+                   help="--follow: stop after N consecutive empty reads")
+    p.add_argument("--regret", action="store_true",
+                   help="run the seeded three-arm fault storm and print "
+                        "the MTTR/regret report (exit 1 unless the "
+                        "closed loop beats the no-op baseline)")
+    p.add_argument("--soak", action="store_true",
+                   help="run the flowsim soak: a mid-run leg failure and "
+                        "the loop's repair land as TopologyEvents")
+    p.add_argument("--k", type=int, default=4,
+                   help="fat-tree parameter for --regret/--soak")
+    p.add_argument("--seed", type=int, default=7,
+                   help="storm/workload seed for --regret/--soak")
+    p.add_argument("--duration", type=float, default=12.0,
+                   help="--regret: storm horizon in trace seconds")
+    p.add_argument("--episodes", type=int, default=2,
+                   help="--regret: scripted hotspot episodes")
+    p.add_argument("--flows", type=int, default=24,
+                   help="--soak: workload size")
+    p.set_defaults(handler=_heal_handler)
+
     p = sub.add_parser("bench",
                        help="run pytest benchmarks/ and record a durable "
                             "BENCH_<seq>.json perf session")
@@ -532,6 +574,93 @@ def _top_handler(args) -> int:
     return 0
 
 
+def _heal_handler(args) -> int:
+    """Drive the closed-loop remediation plane from the CLI.
+
+    Exit codes follow the flatlint convention: 0 = converged (or the
+    ``--expect``-ed actions completed, exactly; or the closed loop
+    beat the no-op baseline under ``--regret``), 1 = failed actions /
+    expectation mismatch / gate miss, 2 = usage or IO error.
+    """
+    from pathlib import Path
+
+    from repro import selfheal
+    from repro.errors import ReproError
+
+    if args.regret:
+        try:
+            report = selfheal.run_regret(
+                k=args.k, seed=args.seed, duration=args.duration,
+                episodes=args.episodes)
+        except ReproError as exc:
+            print(f"heal: {exc}", file=sys.stderr)
+            return 2
+        print(report.table())
+        if args.out:
+            Path(args.out).write_text(report.ledger.to_json(),
+                                      encoding="utf-8")
+        return 0 if report.closed_beats_noop else 1
+
+    if args.soak:
+        from repro.experiments.selfheal_soak import run_selfheal_soak
+
+        try:
+            result = run_selfheal_soak(
+                k=args.k, flows=args.flows, seed=args.seed)
+        except ReproError as exc:
+            print(f"heal: {exc}", file=sys.stderr)
+            return 2
+        print(result.table())
+        if args.out:
+            Path(args.out).write_text(result.ledger.to_json(),
+                                      encoding="utf-8")
+        return 0 if result.repaired else 1
+
+    if not args.trace:
+        print("heal: TRACE is required unless --regret/--soak",
+              file=sys.stderr)
+        return 2
+    trace = Path(args.trace)
+    if args.follow:
+        loop = selfheal.SelfHealLoop(
+            str(trace), poll_s=args.poll, max_polls=args.max_polls)
+        try:
+            with loop:
+                while not loop.finished.wait(0.2):
+                    pass
+        except KeyboardInterrupt:
+            print()
+        if loop.error is not None:
+            print(f"heal: loop died: {loop.error}", file=sys.stderr)
+            return 2
+        engine = loop.engine
+    else:
+        if not trace.is_file():
+            print(f"heal: no trace at {trace}", file=sys.stderr)
+            return 2
+        try:
+            _, engine = selfheal.replay_path(str(trace))
+        except ReproError as exc:
+            print(f"heal: {exc}", file=sys.stderr)
+            return 2
+
+    ledger = engine.ledger
+    if args.out:
+        Path(args.out).write_text(ledger.to_json(), encoding="utf-8")
+    print(ledger.to_json() if args.as_json
+          else ledger.render_text() + "\n", end="")
+    if args.expect is not None:
+        expected = {name.strip() for name in args.expect.split(",")
+                    if name.strip()}
+        done = set(ledger.succeeded_actions())
+        if done != expected:
+            print(f"heal: expected actions {sorted(expected)!r}, "
+                  f"loop completed {sorted(done)!r}", file=sys.stderr)
+            return 1
+        return 0
+    return 1 if ledger.by_status("failed") else 0
+
+
 def _info_handler(args) -> int:
     import platform
 
@@ -567,6 +696,14 @@ def _info_handler(args) -> int:
         f"{len(default_slos())} SLOs over streaming rollups "
         "(flattree health TRACE, flattree top --trace PATH, "
         "docs/health.md)"
+    )
+    from repro.selfheal import default_policy as selfheal_policy
+
+    print(
+        f"selfheal: closed-loop remediation, "
+        f"{len(selfheal_policy().rules)} policy rules + anti-flap "
+        "guards + deterministic ledger "
+        "(flattree heal, docs/robustness.md)"
     )
     try:
         from tools.flatlint import capability_line

@@ -546,9 +546,48 @@ def execute(
         if reason is not None:
             # Roll back: restore the pre-batch configs on whichever
             # batch members already ACKed (one more control round-trip
-            # plus the circuit switch back), then abort the rest.
+            # plus the circuit switch back), then abort the rest.  The
+            # restore commands ride the same faulty control channel as
+            # the forward ones — a fault *during rollback* stretches
+            # the rollback window (timeouts) and is retried in place,
+            # so the batch still ends un-committed on the pre-batch
+            # configuration and the report stays truthful about every
+            # absorbed fault.
+            rollback_delay = 0.0
+            rollback_faults = 0
+            stuck: List = []
+            for cid in batch:
+                while True:
+                    attempt = tries[cid] = tries.get(cid, 0) + 1
+                    attempts += 1
+                    fault = chaos.command_fault(cid, attempt)
+                    if fault is None:
+                        break
+                    rollback_faults += 1
+                    retries += 1
+                    if fault.is_timeout:
+                        rollback_delay += policy.command_timeout
+                    obs.event(
+                        "core.reconfigure.converter_retry",
+                        converter=str(cid),
+                        attempt=attempt,
+                        batch=index,
+                        fault=fault.value,
+                        t=down_t + technology.control_overhead
+                        + rollback_delay,
+                    )
+                    obs.incr("core.reconfigure.converter_retries")
+                    if tries[cid] >= 2 * policy.max_attempts:
+                        stuck.append(cid)
+                        break
+            if rollback_faults:
+                reason += (f"; rollback absorbed {rollback_faults} "
+                           f"command fault(s)")
+            if stuck:
+                reason += ("; restore unacknowledged on "
+                           + ", ".join(str(c) for c in stuck))
             clock.seek(down_t + technology.control_overhead
-                       + technology.switch_delay)
+                       + technology.switch_delay + rollback_delay)
             obs.event(
                 "core.reconfigure.batch_rollback",
                 batch=index,

@@ -21,6 +21,8 @@ Probes are addressed by name:
 ``link.hottest_ewma``       EWMA utilization of the hottest *fresh* link
 ``link.gini``               Gini imbalance over per-link EWMA utilization
 ``conversion.dark_s``       cumulative conversion downtime (link-seconds)
+``conversion.dark_open``    count of links currently dark (down with no
+                            matching up yet — open failure windows)
 ``rollup:<metric>:<stat>``  any metric rollup stat (p50/p90/p99/ewma/
                             last/mean/total/rate_of_change)
 ``ratio:<metric>``          windowed p99 of *metric* over its own
@@ -128,6 +130,8 @@ def _compile_probe(probe: str):
         fn = lambda agg: agg.link_gini()                     # noqa: E731
     elif probe == "conversion.dark_s":
         fn = lambda agg: agg.dark_seconds                    # noqa: E731
+    elif probe == "conversion.dark_open":
+        fn = lambda agg: float(len(agg.dark_open))           # noqa: E731
     elif probe.startswith("rollup:"):
         try:
             _, metric, stat = probe.split(":", 2)

@@ -77,6 +77,15 @@ EVENT_FIELDS: Mapping[str, FrozenSet[str]] = {
         {"rule", "metric", "fired_for", "t"}),
     "health.slo_burn": frozenset(
         {"slo", "burn_rate", "budget_remaining", "t"}),
+    "selfheal.action_planned": frozenset(
+        {"action", "rule", "alert_t", "t"}),
+    "selfheal.action_started": frozenset({"action", "rule", "t"}),
+    "selfheal.action_succeeded": frozenset(
+        {"action", "rule", "latency_s", "t"}),
+    "selfheal.action_failed": frozenset({"action", "rule", "reason", "t"}),
+    "selfheal.action_suppressed": frozenset(
+        {"action", "rule", "reason", "t"}),
+    "chaos.recover_noop": frozenset({"component", "target", "t"}),
 }
 
 #: The contract's one-off event names — derived from
@@ -266,6 +275,61 @@ def _check_slo_burn(event: Mapping[str, Any],
     _check_event_time(event, problems, "slo_burn")
 
 
+def _check_selfheal_common(event: Mapping[str, Any], problems: List[str],
+                           label: str) -> None:
+    _check_named(event, problems, label, "action")
+    _check_named(event, problems, label, "rule")
+    _check_event_time(event, problems, label)
+
+
+def _check_action_planned(event: Mapping[str, Any],
+                          problems: List[str]) -> None:
+    _check_selfheal_common(event, problems, "action_planned")
+    alert_t = event.get("alert_t")
+    if not _numeric(alert_t):
+        problems.append("action_planned missing numeric 'alert_t'")
+    elif alert_t < 0:
+        problems.append(f"negative action_planned 'alert_t' {alert_t}")
+
+
+def _check_action_started(event: Mapping[str, Any],
+                          problems: List[str]) -> None:
+    _check_selfheal_common(event, problems, "action_started")
+
+
+def _check_action_succeeded(event: Mapping[str, Any],
+                            problems: List[str]) -> None:
+    _check_selfheal_common(event, problems, "action_succeeded")
+    latency = event.get("latency_s")
+    if not _numeric(latency):
+        problems.append("action_succeeded missing numeric 'latency_s'")
+    elif latency < 0:
+        problems.append(f"negative action_succeeded 'latency_s' {latency}")
+
+
+def _check_action_failed(event: Mapping[str, Any],
+                         problems: List[str]) -> None:
+    _check_selfheal_common(event, problems, "action_failed")
+    _check_named(event, problems, "action_failed", "reason")
+
+
+def _check_action_suppressed(event: Mapping[str, Any],
+                             problems: List[str]) -> None:
+    _check_selfheal_common(event, problems, "action_suppressed")
+    _check_named(event, problems, "action_suppressed", "reason")
+
+
+def _check_recover_noop(event: Mapping[str, Any],
+                        problems: List[str]) -> None:
+    # The wire-level 'kind' field is always "event"; the chaos
+    # component kind rides in 'component' to avoid the collision.
+    if event.get("component") not in ("leg", "cable", "switch"):
+        problems.append(
+            "recover_noop 'component' must be 'leg', 'cable' or 'switch'")
+    _check_named(event, problems, "recover_noop", "target")
+    _check_event_time(event, problems, "recover_noop")
+
+
 #: Per-name value-level schema checks for registered one-off events.
 EVENT_CHECKS: Mapping[str, Callable[[Mapping[str, Any], List[str]], None]] = {
     "core.profiling.skipped_candidate": _check_skipped_candidate,
@@ -284,6 +348,12 @@ EVENT_CHECKS: Mapping[str, Callable[[Mapping[str, Any], List[str]], None]] = {
     "health.alert_firing": _check_alert_firing,
     "health.alert_resolved": _check_alert_resolved,
     "health.slo_burn": _check_slo_burn,
+    "selfheal.action_planned": _check_action_planned,
+    "selfheal.action_started": _check_action_started,
+    "selfheal.action_succeeded": _check_action_succeeded,
+    "selfheal.action_failed": _check_action_failed,
+    "selfheal.action_suppressed": _check_action_suppressed,
+    "chaos.recover_noop": _check_recover_noop,
 }
 
 

@@ -237,9 +237,16 @@ class SamplingProfiler:
         return self
 
     def stop(self) -> SampleProfile:
-        """Stop sampling, join the sampler thread, return the profile."""
+        """Stop sampling, join the sampler thread, return the profile.
+
+        Idempotent: a second ``stop()`` returns the cached profile
+        instead of raising, so ``finally``-style teardown can call it
+        unconditionally after an explicit mid-body stop.
+        """
         if self._thread is None:
             raise RuntimeError("SamplingProfiler was never started")
+        if self.profile is not None:
+            return self.profile
         self._stop.set()
         self._thread.join()
         if self._duration_s == 0.0:
@@ -266,31 +273,44 @@ class SamplingProfiler:
     def __exit__(self, exc_type: Optional[Type[BaseException]],
                  exc: Optional[BaseException],
                  tb: Optional[TracebackType]) -> bool:
-        self.stop()
+        # Tear the sampler thread down even when the with-body raised;
+        # skip the stop when it already happened (explicit mid-body
+        # stop) so the original exception is never masked.
+        if self._thread is not None and self.profile is None:
+            self.stop()
         return False
 
     def _run(self) -> None:
-        """Sampler thread body: fixed-rate ticks with drift correction."""
+        """Sampler thread body: fixed-rate ticks with drift correction.
+
+        The loop runs under ``try/finally``: whatever a capture raises,
+        the duration is finalized and the stop flag is set, so a
+        crashed sampler can still be ``stop()``ed cleanly and never
+        outlives its start/stop cycle.
+        """
         target = self._target_thread_id
         assert target is not None
         interval = self._interval_s
         origin = time.perf_counter()
         tick = 0
-        while True:
-            tick += 1
-            deadline = origin + tick * interval
-            delay = deadline - time.perf_counter()
-            if delay > 0 and self._stop.wait(delay):
-                break
-            if self._stop.is_set():
-                break
-            frame = sys._current_frames().get(target)
-            if frame is None:  # target thread exited
-                break
-            stack = _stack_of(frame)
-            del frame  # drop the reference promptly; frames pin locals
-            span_path = active_span_path(target)
-            bucket = (span_path, stack)
-            self._counts[bucket] = self._counts.get(bucket, 0) + 1
-            self._samples += 1
-        self._duration_s = time.perf_counter() - self._started_at
+        try:
+            while True:
+                tick += 1
+                deadline = origin + tick * interval
+                delay = deadline - time.perf_counter()
+                if delay > 0 and self._stop.wait(delay):
+                    break
+                if self._stop.is_set():
+                    break
+                frame = sys._current_frames().get(target)
+                if frame is None:  # target thread exited
+                    break
+                stack = _stack_of(frame)
+                del frame  # drop the reference promptly; frames pin locals
+                span_path = active_span_path(target)
+                bucket = (span_path, stack)
+                self._counts[bucket] = self._counts.get(bucket, 0) + 1
+                self._samples += 1
+        finally:
+            self._stop.set()
+            self._duration_s = time.perf_counter() - self._started_at

@@ -1,0 +1,176 @@
+"""Anti-flap guards for the remediation engine.
+
+Three small, trace-clock-driven state machines stand between a firing
+alert and a plant action:
+
+* :class:`TokenBucket` — the global action budget.  Every executed
+  action (success or failure) spends one token; tokens refill at a
+  fixed rate of trace seconds.  An empty bucket suppresses actions
+  fleet-wide, bounding how fast the loop can churn the fabric no
+  matter how many alerts fire.
+* :class:`CooldownGate` — per-alert cooldowns with exponential
+  escalation.  Consecutive attempts on the same alert widen the gap
+  between them (a repair that keeps being needed is not working).
+* :class:`FlapDetector` — watches alert *firing* timestamps; an alert
+  that fires N times inside a sliding window is oscillating, and the
+  detector quarantines it for an escalating period instead of letting
+  the loop chase it.
+
+All three consume the aggregator's **trace clock** (the ``t`` field of
+replayed events), never wall time, so a replayed chaos run takes
+byte-identical guard decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ReproError
+
+_NEVER = float("-inf")
+
+
+@dataclass
+class TokenBucket:
+    """A global action budget refilled in trace time.
+
+    Starts full.  ``take(t)`` refills by ``(t - last_t) * refill_per_s``
+    (clamped at ``capacity``) and spends one token if available.  The
+    clock may repeat but never runs backwards — a stale ``t`` simply
+    refills nothing.
+    """
+
+    capacity: int
+    refill_per_s: float
+    tokens: float = field(init=False)
+    _last_t: float = field(init=False, default=_NEVER)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ReproError("token bucket capacity must be >= 1")
+        if self.refill_per_s < 0:
+            raise ReproError("token bucket refill rate must be >= 0")
+        self.tokens = float(self.capacity)
+
+    def available(self, t: float) -> float:
+        """Tokens that would be on hand at trace time ``t`` (no spend)."""
+        self._refill(t)
+        return self.tokens
+
+    def take(self, t: float) -> bool:
+        """Spend one token at trace time ``t``; False when broke."""
+        self._refill(t)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+    def next_token_at(self, t: float) -> float:
+        """Earliest trace time a token will be available after ``t``."""
+        self._refill(t)
+        if self.tokens >= 1.0:
+            return t
+        if self.refill_per_s <= 0:
+            return float("inf")
+        return t + (1.0 - self.tokens) / self.refill_per_s
+
+    def _refill(self, t: float) -> None:
+        if self._last_t == _NEVER:
+            self._last_t = t
+            return
+        if t > self._last_t:
+            self.tokens = min(
+                float(self.capacity),
+                self.tokens + (t - self._last_t) * self.refill_per_s)
+            self._last_t = t
+
+
+class CooldownGate:
+    """Per-key cooldowns that escalate on consecutive attempts.
+
+    ``arm(key, t, base, factor, cap)`` records an attempt: the key is
+    not ready again until ``t + min(cap, base * factor**strikes)``
+    where ``strikes`` counts prior consecutive attempts.  ``reset``
+    clears the escalation once the underlying alert resolves for good.
+    """
+
+    def __init__(self) -> None:
+        self._ready_at: Dict[str, float] = {}
+        self._strikes: Dict[str, int] = {}
+
+    def ready(self, key: str, t: float) -> bool:
+        return t >= self._ready_at.get(key, _NEVER)
+
+    def ready_at(self, key: str) -> float:
+        """Trace time the key unlocks (-inf when never armed)."""
+        return self._ready_at.get(key, _NEVER)
+
+    def strikes(self, key: str) -> int:
+        return self._strikes.get(key, 0)
+
+    def arm(self, key: str, t: float, base: float,
+            factor: float = 1.0, cap: float = float("inf")) -> float:
+        strikes = self._strikes.get(key, 0)
+        window = min(cap, base * (factor ** strikes))
+        self._strikes[key] = strikes + 1
+        self._ready_at[key] = t + window
+        return window
+
+    def reset(self, key: str) -> None:
+        self._ready_at.pop(key, None)
+        self._strikes.pop(key, None)
+
+
+class FlapDetector:
+    """Quarantine alerts that oscillate instead of chasing them.
+
+    Feed every ``alert_firing`` edge through :meth:`record_firing`.
+    When one rule fires ``oscillations`` times within ``window_s``
+    trace seconds, the rule is quarantined for ``quarantine_s``
+    (doubling on each subsequent quarantine, capped at
+    ``max_quarantine_s``) and its firing history is cleared so the
+    next escalation needs a fresh burst.
+    """
+
+    def __init__(self, oscillations: int = 3, window_s: float = 5.0,
+                 quarantine_s: float = 10.0,
+                 max_quarantine_s: float = 60.0) -> None:
+        if oscillations < 2:
+            raise ReproError("flap detection needs >= 2 oscillations")
+        if window_s <= 0 or quarantine_s <= 0:
+            raise ReproError("flap windows must be positive")
+        self.oscillations = oscillations
+        self.window_s = window_s
+        self.quarantine_s = quarantine_s
+        self.max_quarantine_s = max_quarantine_s
+        self._firings: Dict[str, List[float]] = {}
+        self._quarantined_until: Dict[str, float] = {}
+        self._strikes: Dict[str, int] = {}
+
+    def record_firing(self, rule: str, t: float) -> None:
+        history = self._firings.setdefault(rule, [])
+        history.append(t)
+        cutoff = t - self.window_s
+        while history and history[0] < cutoff:
+            history.pop(0)
+        if len(history) >= self.oscillations:
+            strikes = self._strikes.get(rule, 0)
+            span = min(self.max_quarantine_s,
+                       self.quarantine_s * (2.0 ** strikes))
+            self._strikes[rule] = strikes + 1
+            self._quarantined_until[rule] = t + span
+            history.clear()
+
+    def quarantined_until(self, rule: str) -> Optional[float]:
+        """Trace time the rule's quarantine lifts (None = not flapping)."""
+        return self._quarantined_until.get(rule)
+
+    def is_quarantined(self, rule: str, t: float) -> bool:
+        until = self._quarantined_until.get(rule)
+        if until is None:
+            return False
+        if t >= until:
+            del self._quarantined_until[rule]
+            return False
+        return True

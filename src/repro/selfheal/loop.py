@@ -1,0 +1,148 @@
+"""Live mode: a background thread tailing a telemetry JSONL file.
+
+:class:`SelfHealLoop` follows a growing trace file (the ``--follow``
+side of ``flattree heal``), feeding each appended line into the
+aggregator and polling the :class:`~repro.selfheal.engine.
+RemediationEngine` after every batch.  Decision *timing* still comes
+from the trace clock inside the events — wall time only paces how
+often the file is re-read — so a live run and an offline replay of
+the same trace produce the same ledger.
+
+Thread hygiene (the contract the tests pin down): the worker is a
+daemon thread whose body runs under ``try/finally`` — whatever the
+engine or aggregator raises, the loop always finalizes the aggregator,
+takes a last poll, records the error, and flips :attr:`finished`.
+The context-manager form stops the thread even when the ``with`` body
+raises, so a crashing experiment cannot leak a live loop past the
+block.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import IO, List, Optional
+
+from repro.errors import ReproError
+from repro.health.aggregate import HealthAggregator
+from repro.selfheal.engine import RemediationEngine, new_selfheal_aggregator
+
+
+class SelfHealLoop:
+    """Tail ``path`` through the closed loop on a background thread.
+
+    ``poll_s`` is the wall-clock pause between tail reads when the
+    file has no new lines; ``max_polls`` bounds how many such empty
+    reads the loop tolerates before stopping on its own (None = run
+    until :meth:`stop`).  A missing file counts as an empty read —
+    the loop waits for the recorder to create it.
+    """
+
+    def __init__(self, path: str,
+                 aggregator: Optional[HealthAggregator] = None,
+                 engine: Optional[RemediationEngine] = None,
+                 poll_s: float = 0.25,
+                 max_polls: Optional[int] = None) -> None:
+        if poll_s <= 0:
+            raise ReproError("poll_s must be positive")
+        self.path = path
+        self.aggregator = aggregator or new_selfheal_aggregator()
+        self.engine = engine or RemediationEngine()
+        self.poll_s = poll_s
+        self.max_polls = max_polls
+        self.lines_read = 0
+        self.bad_lines = 0
+        self.empty_polls = 0
+        self.error: Optional[BaseException] = None
+        self.finished = threading.Event()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> "SelfHealLoop":
+        if self._thread is not None:
+            raise ReproError("self-heal loop already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-selfheal-loop", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Signal the loop and join it; idempotent."""
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout)
+        if self._thread.is_alive():  # pragma: no cover - defensive
+            raise ReproError("self-heal loop failed to stop")
+        self._thread = None
+
+    def __enter__(self) -> "SelfHealLoop":
+        return self.start()
+
+    def __exit__(self, exc_type: object, exc: object,
+                 tb: object) -> None:
+        # Always tear the thread down, even when the with-body raised.
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        handle: Optional[IO[str]] = None
+        try:
+            while not self._stop.is_set():
+                if handle is None:
+                    try:
+                        handle = open(self.path, "r", encoding="utf-8")
+                    except OSError:
+                        if not self._idle():
+                            break
+                        continue
+                batch = self._drain(handle)
+                if batch:
+                    self.empty_polls = 0
+                    for event in batch:
+                        self.aggregator.consume(event)
+                    self.engine.poll(self.aggregator)
+                elif not self._idle():
+                    break
+        except BaseException as exc:  # noqa: BLE001 - recorded, re-raised
+            self.error = exc
+            raise
+        finally:
+            # Hygiene contract: the loop always finalizes, whatever
+            # happened above — no half-open aggregator, no silent exit.
+            if handle is not None:
+                handle.close()
+            try:
+                self.aggregator.finish()
+                self.engine.poll(self.aggregator)
+            finally:
+                self.finished.set()
+
+    def _drain(self, handle: IO[str]) -> List[dict]:
+        events: List[dict] = []
+        while True:
+            line = handle.readline()
+            if not line:
+                return events
+            line = line.strip()
+            if not line:
+                continue
+            self.lines_read += 1
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                self.bad_lines += 1
+                continue
+            if isinstance(event, dict):
+                events.append(event)
+
+    def _idle(self) -> bool:
+        """One empty poll: True to keep waiting, False to stop."""
+        self.empty_polls += 1
+        if self.max_polls is not None and self.empty_polls >= self.max_polls:
+            return False
+        # Wall time paces the tail only; decisions use the trace clock.
+        time.sleep(self.poll_s)
+        return True

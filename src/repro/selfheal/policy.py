@@ -1,0 +1,197 @@
+"""Declarative remediation policy: which alert triggers which repair.
+
+A :class:`RemediationPolicy` is the closed loop's rulebook: for each
+health-plane alert rule (by name), one :class:`ActionRule` names the
+repair **action** the engine should drive and the anti-flap envelope
+around it (per-action cooldown with exponential escalation, plus the
+policy-wide hysteresis window, action-budget token bucket, and flap
+quarantine thresholds the guards in :mod:`repro.selfheal.guard`
+enforce).
+
+Actions are a closed vocabulary, matched to the repair machinery the
+library already has:
+
+==================  ====================================================
+``reconvert``       per-zone re-conversion through the resilient
+                    executor (:meth:`Controller.execute_mode`) — the
+                    paper's answer to a sustained hotspot: dissolve it
+                    into a random-graph mode
+``heal``            degraded-route repair via
+                    :func:`repro.core.failures.heal` (converters
+                    re-programmed around dead legs/cables/switches)
+``quarantine``      pause the conversion plane after a retry storm:
+                    the engine holds further reconvert/heal actions
+                    for an escalating window
+``backoff``         soften the loop after a blown downtime budget:
+                    one fixed global hold, no escalation
+==================  ====================================================
+
+Alerts with no mapped action are observed but never acted on — the
+loop's default posture is conservative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.health.rules import AlertRule
+
+ACTION_RECONVERT = "reconvert"
+ACTION_HEAL = "heal"
+ACTION_QUARANTINE = "quarantine"
+ACTION_BACKOFF = "backoff"
+
+#: Every action kind the engine knows how to drive.
+ACTIONS: Tuple[str, ...] = (
+    ACTION_RECONVERT, ACTION_HEAL, ACTION_QUARANTINE, ACTION_BACKOFF,
+)
+
+#: Actions that touch the plant (and are therefore gated by a global
+#: remediation hold); ``quarantine``/``backoff`` only *install* holds.
+PLANT_ACTIONS: Tuple[str, ...] = (ACTION_RECONVERT, ACTION_HEAL)
+
+
+@dataclass(frozen=True)
+class ActionRule:
+    """One alert-to-action mapping with its cooldown envelope.
+
+    ``cooldown_s`` arms after every attempt (success or failure) and
+    escalates by ``backoff_factor`` per consecutive attempt, capped at
+    ``max_cooldown_s`` — a repair that keeps being needed is a repair
+    that is not working, and hammering the plant faster will not fix
+    it.  ``mode`` is the target conversion mode for ``reconvert``
+    actions (a :class:`repro.core.conversion.Mode` value string).
+    """
+
+    alert: str
+    action: str
+    cooldown_s: float = 1.0
+    backoff_factor: float = 2.0
+    max_cooldown_s: float = 30.0
+    mode: str = "global-random"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.alert:
+            raise ReproError("action rule needs an alert name")
+        if self.action not in ACTIONS:
+            raise ReproError(
+                f"unknown remediation action {self.action!r} "
+                f"(known: {', '.join(ACTIONS)})")
+        if self.cooldown_s < 0:
+            raise ReproError(f"cooldown must be >= 0, got {self.cooldown_s}")
+        if self.backoff_factor < 1.0:
+            raise ReproError("backoff_factor must be >= 1")
+        if self.max_cooldown_s < self.cooldown_s:
+            raise ReproError("max_cooldown_s must be >= cooldown_s")
+
+
+@dataclass(frozen=True)
+class RemediationPolicy:
+    """The loop's full rulebook plus its policy-wide guard knobs.
+
+    ``hysteresis_s`` is the observation window between an alert firing
+    and the engine's first action on it — a breach that clears within
+    it never triggers a repair.  ``budget_capacity`` /
+    ``budget_refill_per_s`` parameterize the global action-budget
+    token bucket; ``flap_oscillations`` firings of one alert within
+    ``flap_window_s`` trace seconds escalate that alert to quarantine
+    for ``quarantine_s`` (doubling per strike).
+    """
+
+    rules: Tuple[ActionRule, ...] = ()
+    hysteresis_s: float = 0.25
+    budget_capacity: int = 8
+    budget_refill_per_s: float = 0.5
+    flap_oscillations: int = 3
+    flap_window_s: float = 5.0
+    quarantine_s: float = 10.0
+    _by_alert: Dict[str, ActionRule] = field(
+        default_factory=dict, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.hysteresis_s < 0:
+            raise ReproError("hysteresis_s must be >= 0")
+        if self.budget_capacity < 1:
+            raise ReproError("budget_capacity must be >= 1")
+        if self.budget_refill_per_s < 0:
+            raise ReproError("budget_refill_per_s must be >= 0")
+        if self.flap_oscillations < 2:
+            raise ReproError("flap_oscillations must be >= 2")
+        if self.flap_window_s <= 0 or self.quarantine_s <= 0:
+            raise ReproError("flap/quarantine windows must be positive")
+        alerts = [r.alert for r in self.rules]
+        if len(set(alerts)) != len(alerts):
+            raise ReproError("one action rule per alert "
+                             "(duplicate alert mapping)")
+        self._by_alert.update({r.alert: r for r in self.rules})
+
+    def for_alert(self, alert: str) -> Optional[ActionRule]:
+        """The action mapped to one alert rule name (None = unmapped)."""
+        return self._by_alert.get(alert)
+
+    def describe(self) -> str:
+        mapped = ", ".join(f"{r.alert}->{r.action}" for r in self.rules)
+        return (f"policy({mapped or 'no mappings'}; "
+                f"budget {self.budget_capacity} @ "
+                f"{self.budget_refill_per_s:g}/s)")
+
+
+def default_policy() -> RemediationPolicy:
+    """The shipped policy catalog (documented in ``docs/robustness.md``).
+
+    Mirrors the default alert catalog of :mod:`repro.health.rules`
+    plus the loop's own ``link_failure`` rule (:func:`selfheal_rules`):
+    hotspots and imbalance dissolve into a random-graph conversion,
+    fabric failures heal around dead components, a retry storm
+    quarantines the conversion plane, and a blown downtime budget
+    backs the whole loop off.
+    """
+    return RemediationPolicy(rules=(
+        ActionRule(
+            alert="link_hotspot", action=ACTION_RECONVERT, cooldown_s=2.0,
+            description="dissolve a sustained hotspot into global-random"),
+        ActionRule(
+            alert="link_imbalance", action=ACTION_RECONVERT, cooldown_s=2.0,
+            description="rebalance a skewed fabric into global-random"),
+        ActionRule(
+            alert="fct_regression", action=ACTION_RECONVERT, cooldown_s=4.0,
+            description="FCT tail regressed: convert the fabric"),
+        ActionRule(
+            alert="link_failure", action=ACTION_HEAL, cooldown_s=0.5,
+            description="re-program converters around dead components"),
+        ActionRule(
+            alert="retry_storm", action=ACTION_QUARANTINE, cooldown_s=1.0,
+            description="converter commands are failing in bulk: "
+                        "quarantine the conversion plane"),
+        ActionRule(
+            alert="conversion_downtime", action=ACTION_BACKOFF,
+            cooldown_s=5.0, backoff_factor=1.0, max_cooldown_s=5.0,
+            description="downtime budget blown: hold further repairs"),
+    ))
+
+
+def selfheal_rules() -> Tuple[AlertRule, ...]:
+    """Extra health alert rules the remediation plane subscribes to.
+
+    ``link_failure`` watches the count of *open* dark links — a
+    ``link_down`` with no matching ``link_up`` is a component that
+    died outside any planned blink window, which is exactly the
+    condition :func:`repro.core.failures.heal` exists to repair.
+    Append these to :func:`repro.health.rules.default_rules` when
+    building the loop's aggregator (see
+    :func:`repro.selfheal.engine.new_selfheal_aggregator`).
+    """
+    return (
+        AlertRule(
+            name="link_failure",
+            probe="conversion.dark_open",
+            threshold=0.5,
+            severity="critical",
+            description="at least one link is dark outside a planned "
+                        "blink window (component failure; resolves "
+                        "when the link comes back)",
+        ),
+    )

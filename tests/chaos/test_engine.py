@@ -121,6 +121,66 @@ class TestFailuresAt:
         assert [e.t for e in chaos.events] == [1.0, 2.0]
 
 
+class TestRecoverAudit:
+    """Recover for a healthy component: silent no-op, audited once."""
+
+    def test_never_failed_recover_flagged(self, ft):
+        cid = first_cid(ft)
+        chaos = ChaosSchedule(events=(
+            ChaosEvent.leg_recover(1.0, cid, Leg.CORE),
+        ))
+        assert chaos.failures_at(2.0).is_empty()
+        assert len(chaos.redundant_recoveries) == 1
+        assert chaos.redundant_recoveries[0].t == 1.0
+
+    def test_double_recover_second_flagged(self, ft):
+        cid = first_cid(ft)
+        chaos = ChaosSchedule(events=(
+            ChaosEvent.leg_fail(1.0, cid, Leg.CORE),
+            ChaosEvent.leg_recover(2.0, cid, Leg.CORE),
+            ChaosEvent.leg_recover(3.0, cid, Leg.CORE),
+        ))
+        assert [e.t for e in chaos.redundant_recoveries] == [3.0]
+        assert chaos.failures_at(4.0).is_empty()
+
+    def test_matched_recover_not_flagged(self, ft):
+        cid = first_cid(ft)
+        chaos = ChaosSchedule(events=(
+            ChaosEvent.leg_fail(1.0, cid, Leg.CORE),
+            ChaosEvent.leg_recover(2.0, cid, Leg.CORE),
+        ))
+        assert chaos.redundant_recoveries == ()
+
+    def test_cable_recover_matches_either_orientation(self):
+        chaos = ChaosSchedule(events=(
+            ChaosEvent.cable_fail(1.0, 3, 7),
+            ChaosEvent.cable_recover(2.0, 7, 3),
+        ))
+        assert chaos.redundant_recoveries == ()
+
+    def test_audit_event_emitted_and_valid(self, ft):
+        import json
+
+        from repro import obs
+        from repro.obs.sinks import MemorySink
+        from tools.check_telemetry import check_line
+
+        sink = MemorySink()
+        obs.enable(sink)
+        try:
+            ChaosSchedule(events=(
+                ChaosEvent.switch_recover(1.5, CoreSwitch(0)),
+            ))
+        finally:
+            obs.disable()
+        noops = [e for e in sink.events
+                 if e.get("name") == "chaos.recover_noop"]
+        assert len(noops) == 1
+        assert noops[0]["component"] == "switch"
+        assert noops[0]["t"] == 1.5
+        assert check_line(json.dumps(noops[0]), 1) == []
+
+
 class TestRandomSchedules:
     def test_deterministic_for_seed(self, ft):
         a = ChaosSchedule.random(ft, seed=11, leg_fault_rate=0.5,

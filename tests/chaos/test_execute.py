@@ -208,6 +208,95 @@ class TestRollback:
         assert "timeout" in report.batches[-1].rollback_reason
 
 
+class TestDoubleFaultRollback:
+    """A command fault *during rollback* must not corrupt the abort."""
+
+    def _double_fault(self, victim, restore_faults=1):
+        # Attempts 1-4 exhaust the forward path; attempts 5+ hit the
+        # restore commands the rollback issues on the same channel.
+        return ChaosSchedule(scripted_faults={
+            (victim, a): CommandFault.TIMEOUT
+            for a in range(1, 4 + restore_faults + 1)
+        })
+
+    def test_rollback_absorbs_restore_fault(self, controller):
+        _ref, _before, plan = reference_plan()
+        victim = sorted(plan.config_changes)[0]
+        pre = dict(controller.flattree.configs())
+        report = controller.execute_mode(
+            Mode.GLOBAL_RANDOM, chaos=self._double_fault(victim),
+        )
+        assert not report.success
+        rolled = report.batches[-1]
+        assert not rolled.committed
+        assert "rollback absorbed 1 command fault(s)" in \
+            rolled.rollback_reason
+        # The abort still lands on the consistent pre-batch prefix.
+        for cid in rolled.converters:
+            assert controller.flattree.configs()[cid] is pre[cid]
+        assert_valid(report.network)
+        assert is_connected(report.network)
+        assert report.problems == []
+
+    def test_restore_fault_stretches_rollback_window(self, controller):
+        _ref, _before, plan = reference_plan()
+        victim = sorted(plan.config_changes)[0]
+        policy = RetryPolicy(max_attempts=4, command_timeout=10e-3)
+        clean = controller.execute_mode(
+            Mode.GLOBAL_RANDOM,
+            chaos=ChaosSchedule(scripted_faults={
+                (victim, a): CommandFault.TIMEOUT for a in range(1, 5)
+            }),
+            policy=policy,
+        )
+        faulty = Controller(
+            FlatTree(FlatTreeDesign.for_fat_tree(8))).execute_mode(
+            Mode.GLOBAL_RANDOM, chaos=self._double_fault(victim),
+            policy=policy,
+        )
+        # One absorbed restore timeout = one more command_timeout.
+        assert faulty.finish == pytest.approx(
+            clean.finish + policy.command_timeout)
+
+    def test_unacknowledged_restore_reported(self, controller):
+        _ref, _before, plan = reference_plan()
+        victim = sorted(plan.config_changes)[0]
+        # Faults through attempt 8 = 2 * max_attempts: the restore is
+        # never ACKed and the report says so instead of lying.
+        report = controller.execute_mode(
+            Mode.GLOBAL_RANDOM, chaos=self._double_fault(
+                victim, restore_faults=4),
+        )
+        assert not report.success
+        reason = report.batches[-1].rollback_reason
+        assert "restore unacknowledged on" in reason
+        assert str(victim) in reason
+        assert_valid(report.network)
+
+    def test_restore_retry_events_validate(self, controller):
+        from repro import obs
+        from repro.obs.sinks import MemorySink
+        from tools.check_telemetry import check_line
+
+        _ref, _before, plan = reference_plan()
+        victim = sorted(plan.config_changes)[0]
+        sink = MemorySink()
+        obs.enable(sink)
+        try:
+            controller.execute_mode(
+                Mode.GLOBAL_RANDOM, chaos=self._double_fault(victim),
+            )
+        finally:
+            obs.disable()
+        retries = [e for e in sink.events
+                   if e.get("name") == "core.reconfigure.converter_retry"]
+        # Forward attempts 1-4 emit 4 retry events, the restore fault
+        # at attempt 5 emits one more.
+        assert [e["attempt"] for e in retries] == [1, 2, 3, 4, 5]
+        for event in retries:
+            assert check_line(json.dumps(event), 1) == []
+
+
 class TestPlantFaultsAndHeal:
     def test_dead_leg_triggers_heal(self, controller):
         cid = sorted(controller.flattree.converters)[0]

@@ -1,0 +1,53 @@
+"""Unit tests for the self-heal soak experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.selfheal_soak import run_selfheal_soak
+
+
+@pytest.fixture(scope="module")
+def soak():
+    return run_selfheal_soak(k=4, flows=24, seed=7)
+
+
+class TestSelfHealSoak:
+    def test_loop_heals_mid_run(self, soak):
+        assert soak.repaired
+        assert soak.t_repair > soak.t_fail
+        assert soak.actions.get("heal", 0) >= 1
+
+    def test_soaked_run_completes_all_flows(self, soak):
+        assert len(soak.soaked.failed) == 0
+        assert len(soak.soaked.completed) == len(soak.baseline.completed)
+
+    def test_flows_reroute_through_the_incident(self, soak):
+        # At least one in-flight flow crossed a topology swap.
+        assert soak.soaked.rerouted >= 1
+        assert soak.baseline.rerouted == 0
+
+    def test_fault_strands_a_server_until_healed(self, soak):
+        assert soak.stranded_degraded >= 1
+        assert soak.stranded_healed == 0
+
+    def test_ledger_records_the_heal(self, soak):
+        succeeded = soak.ledger.by_status("succeeded")
+        assert any(e.action == "heal" and e.rule == "link_failure"
+                   for e in succeeded)
+
+    def test_deterministic_for_seed(self, soak):
+        again = run_selfheal_soak(k=4, flows=24, seed=7)
+        assert again.table() == soak.table()
+        assert again.ledger.to_json() == soak.ledger.to_json()
+
+    def test_table_renders(self, soak):
+        text = soak.table()
+        assert "self-heal soak" in text
+        assert "baseline" in text and "soaked" in text
+        assert "fct tax" in text
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            run_selfheal_soak(k=3)

@@ -233,6 +233,84 @@ class TestHealthEvents:
         assert any("burn_rate" in p for p in problems)
 
 
+class TestSelfHealEvents:
+    def test_registered_with_required_fields(self):
+        assert contract.EVENT_FIELDS["selfheal.action_planned"] == frozenset(
+            {"action", "rule", "alert_t", "t"})
+        assert contract.EVENT_FIELDS["selfheal.action_started"] == frozenset(
+            {"action", "rule", "t"})
+        assert contract.EVENT_FIELDS[
+            "selfheal.action_succeeded"] == frozenset(
+            {"action", "rule", "latency_s", "t"})
+        assert contract.EVENT_FIELDS["selfheal.action_failed"] == frozenset(
+            {"action", "rule", "reason", "t"})
+        assert contract.EVENT_FIELDS[
+            "selfheal.action_suppressed"] == frozenset(
+            {"action", "rule", "reason", "t"})
+        for name in ("selfheal.action_planned", "selfheal.action_started",
+                     "selfheal.action_succeeded", "selfheal.action_failed",
+                     "selfheal.action_suppressed"):
+            assert name in contract.EVENT_CHECKS
+
+    def test_valid_action_lifecycle(self):
+        assert contract.check_event(
+            event("selfheal.action_planned", action="reconvert",
+                  rule="link_hotspot", alert_t=1.8, t=2.1)) == []
+        assert contract.check_event(
+            event("selfheal.action_started", action="reconvert",
+                  rule="link_hotspot", t=2.1)) == []
+        assert contract.check_event(
+            event("selfheal.action_succeeded", action="reconvert",
+                  rule="link_hotspot", latency_s=0.09, t=2.1)) == []
+        assert contract.check_event(
+            event("selfheal.action_failed", action="heal",
+                  rule="link_failure", reason="no path", t=3.0)) == []
+        assert contract.check_event(
+            event("selfheal.action_suppressed", action="heal",
+                  rule="link_failure", reason="cooldown", t=3.0)) == []
+
+    def test_action_and_rule_must_be_named(self):
+        problems = contract.check_event(
+            event("selfheal.action_started", action="", rule="r", t=1.0))
+        assert any("action" in p for p in problems)
+
+    def test_planned_requires_nonnegative_alert_t(self):
+        problems = contract.check_event(
+            event("selfheal.action_planned", action="heal", rule="r",
+                  alert_t=-1.0, t=1.0))
+        assert any("alert_t" in p for p in problems)
+
+    def test_suppressed_requires_reason(self):
+        problems = contract.check_event(
+            event("selfheal.action_suppressed", action="heal", rule="r",
+                  reason="", t=1.0))
+        assert any("reason" in p for p in problems)
+
+    def test_negative_latency_rejected(self):
+        problems = contract.check_event(
+            event("selfheal.action_succeeded", action="heal", rule="r",
+                  latency_s=-0.1, t=1.0))
+        assert any("latency_s" in p for p in problems)
+
+
+class TestChaosRecoverNoopEvent:
+    def test_registered(self):
+        assert contract.EVENT_FIELDS["chaos.recover_noop"] == frozenset(
+            {"component", "target", "t"})
+        assert "chaos.recover_noop" in contract.EVENT_CHECKS
+
+    def test_valid_event(self):
+        assert contract.check_event(
+            event("chaos.recover_noop", component="leg",
+                  target="c3-edge", t=1.5)) == []
+
+    def test_component_vocabulary_enforced(self):
+        problems = contract.check_event(
+            event("chaos.recover_noop", component="gpu",
+                  target="x", t=1.0))
+        assert any("component" in p for p in problems)
+
+
 class TestCheckLineAndStream:
     def test_invalid_json(self):
         problems = contract.check_line("{not json")

@@ -106,6 +106,53 @@ class TestProfileMath:
         assert "[a/b]" in table
 
 
+class TestThreadHygiene:
+    def no_sampler_threads(self):
+        import threading
+        return not any(t.name == "repro-obs-sampler" and t.is_alive()
+                       for t in threading.enumerate())
+
+    def test_stop_is_idempotent(self, clean_obs):
+        profiler = SamplingProfiler(hz=200)
+        profiler.start()
+        first = profiler.stop()
+        assert profiler.stop() is first  # cached, not an error
+
+    def test_exit_skips_stop_after_midbody_stop(self, clean_obs):
+        with SamplingProfiler(hz=400) as profiler:
+            spin(0.05)
+            profile = profiler.stop()
+        assert profiler.profile is profile
+        assert self.no_sampler_threads()
+
+    def test_exit_tears_down_on_body_exception(self, clean_obs):
+        profiler = SamplingProfiler(hz=400)
+        with pytest.raises(RuntimeError, match="boom"):
+            with profiler:
+                spin(0.02)
+                raise RuntimeError("boom")
+        # The sampler thread is gone and the profile was still taken:
+        # teardown never masks the body's exception.
+        assert self.no_sampler_threads()
+        assert profiler.profile is not None
+
+    @pytest.mark.filterwarnings(
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning")
+    def test_crashed_sampler_still_stops_cleanly(self, clean_obs,
+                                                 monkeypatch):
+        def explode(frame):
+            raise RuntimeError("capture failed")
+
+        monkeypatch.setattr("repro.obs.sampler._stack_of", explode)
+        profiler = SamplingProfiler(hz=500)
+        profiler.start()
+        spin(0.05)
+        profile = profiler.stop()  # joins the dead thread, no hang
+        assert profile.samples == 0
+        assert profile.duration_s > 0.0
+        assert self.no_sampler_threads()
+
+
 class TestWireEvents:
     def test_start_stop_flush_schema_valid(self, memory_sink):
         profiler = SamplingProfiler(hz=500)

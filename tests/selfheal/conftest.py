@@ -1,0 +1,89 @@
+"""Self-heal test fixtures: isolated telemetry + synthetic traces."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.sinks import MemorySink
+
+
+@pytest.fixture()
+def clean_obs():
+    """Guarantee telemetry is off and the registry empty around a test."""
+    obs.disable()
+    obs.registry.reset()
+    yield
+    obs.disable()
+    obs.registry.reset()
+
+
+@pytest.fixture()
+def memory_sink(clean_obs) -> MemorySink:
+    """Telemetry enabled onto an in-memory sink (metric events on)."""
+    sink = MemorySink()
+    obs.enable(sink, emit_metric_events=True)
+    return sink
+
+
+def link_sample(t, link, utilization):
+    """One monitor link_sample wire event, JSON-encoded."""
+    return json.dumps({
+        "ts": 0.0, "name": "monitor.link_sample", "kind": "link_sample",
+        "t": t, "link": link, "value": utilization,
+        "utilization": utilization, "rate": utilization, "capacity": 1.0,
+        "active_flows": 1,
+    })
+
+
+def link_down(t, link):
+    """One monitor link_down wire event, JSON-encoded."""
+    return json.dumps({
+        "ts": 0.0, "name": "monitor.link_down", "kind": "link_down",
+        "t": t, "link": link,
+    })
+
+
+def link_up(t, link, dark_s):
+    """One monitor link_up wire event, JSON-encoded."""
+    return json.dumps({
+        "ts": 0.0, "name": "monitor.link_up", "kind": "link_up",
+        "t": t, "link": link, "dark_s": dark_s,
+    })
+
+
+@pytest.fixture()
+def hotspot_lines():
+    """A synthetic trace: one link sustained >90% hot, then cooling off.
+
+    200 ticks at 0.05 s: ``s1->s2`` runs at 0.97 for the first 120
+    ticks then drops to 0.10; ``s2->s3`` idles at 0.20 throughout.
+    The default ``link_hotspot`` rule fires once (~t=1.8 after EWMA
+    warm-up + the 0.5 s sustained-for gate) and resolves once.
+    """
+    lines = []
+    for i in range(200):
+        t = i * 0.05
+        hot = 0.97 if i < 120 else 0.10
+        lines.append(link_sample(t, "s1->s2", hot))
+        lines.append(link_sample(t, "s2->s3", 0.20))
+    return lines
+
+
+@pytest.fixture()
+def failure_lines():
+    """A synthetic trace with one open link-failure window.
+
+    Background keepalive samples tick the trace clock; ``c0->edge``
+    goes dark at t=1.0 and never recovers, so the ``link_failure``
+    rule (probe ``conversion.dark_open``) fires and stays firing.
+    """
+    lines = []
+    for i in range(80):
+        t = i * 0.05
+        lines.append(link_sample(t, "bg0->bg1", 0.10))
+        if i == 20:
+            lines.append(link_down(t, "c0->edge"))
+    return lines

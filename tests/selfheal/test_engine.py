@@ -1,0 +1,272 @@
+"""Remediation engine: guard chain, cause linkage, deterministic replay."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.contract import check_event
+from repro.selfheal.engine import (
+    SUPPRESS_BUDGET,
+    SUPPRESS_COOLDOWN,
+    SUPPRESS_FLAP,
+    SUPPRESS_HOLD,
+    ActionOutcome,
+    Executor,
+    PlanOnlyExecutor,
+    RemediationEngine,
+    new_selfheal_aggregator,
+    replay,
+)
+from repro.selfheal.policy import (
+    ACTION_HEAL,
+    ACTION_QUARANTINE,
+    ACTION_RECONVERT,
+    ActionRule,
+    RemediationPolicy,
+)
+
+from .conftest import link_sample
+
+
+@dataclass
+class FakeAggregator:
+    """Just the surface the engine polls: an alert log + trace clock."""
+
+    t: float = 0.0
+    log: List[Dict[str, object]] = field(default_factory=list)
+
+    def fire(self, rule: str, t: float) -> None:
+        self.log.append({"event": "alert_firing", "rule": rule, "t": t})
+        self.t = max(self.t, t)
+
+    def resolve(self, rule: str, t: float) -> None:
+        self.log.append({"event": "alert_resolved", "rule": rule, "t": t})
+        self.t = max(self.t, t)
+
+
+def make_fake():
+    return FakeAggregator()
+
+
+def policy_of(*rules: ActionRule, **kwargs) -> RemediationPolicy:
+    return RemediationPolicy(rules=tuple(rules), **kwargs)
+
+
+HOTSPOT = ActionRule(alert="hot", action=ACTION_RECONVERT, cooldown_s=1.0)
+
+
+class FailingExecutor(Executor):
+    def perform(self, action, *, rule, t):
+        return ActionOutcome(ok=False, detail="plant said no")
+
+
+class RaisingExecutor(Executor):
+    def perform(self, action, *, rule, t):
+        raise ReproError("executor blew up")
+
+
+class TestGuardChain:
+    def test_hysteresis_window_defers_action(self):
+        engine = RemediationEngine(policy=policy_of(HOTSPOT,
+                                                    hysteresis_s=0.25))
+        agg = make_fake()
+        agg.fire("hot", 0.0)
+        agg.t = 0.1
+        assert engine.poll(agg) == []        # inside the window
+        agg.t = 0.3
+        entries = engine.poll(agg)
+        assert [e.status for e in entries] == ["planned", "started",
+                                               "succeeded"]
+
+    def test_breach_clearing_inside_hysteresis_never_acts(self):
+        engine = RemediationEngine(policy=policy_of(HOTSPOT,
+                                                    hysteresis_s=0.5))
+        agg = make_fake()
+        agg.fire("hot", 0.0)
+        agg.resolve("hot", 0.2)
+        agg.t = 2.0
+        assert engine.poll(agg) == []
+        assert len(engine.ledger) == 0
+
+    def test_unmapped_alert_observed_not_acted(self):
+        engine = RemediationEngine(policy=policy_of(HOTSPOT))
+        agg = make_fake()
+        agg.fire("mystery", 0.0)
+        agg.t = 5.0
+        assert engine.poll(agg) == []
+
+    def test_flap_quarantine_suppresses(self):
+        policy = policy_of(HOTSPOT, flap_oscillations=2, flap_window_s=5.0,
+                           quarantine_s=10.0, hysteresis_s=0.0)
+        engine = RemediationEngine(policy=policy)
+        agg = make_fake()
+        agg.fire("hot", 0.0)
+        agg.resolve("hot", 0.4)
+        agg.fire("hot", 0.8)                 # 2nd firing in window: flap
+        agg.t = 1.0
+        entries = engine.poll(agg)
+        assert [e.status for e in entries] == ["planned", "suppressed"]
+        assert entries[1].reason == SUPPRESS_FLAP
+        # and the engine does not spam: retry deferred to quarantine end
+        agg.t = 2.0
+        assert engine.poll(agg) == []
+        agg.t = 11.0                          # quarantine (0.8+10) lifted
+        assert [e.status for e in engine.poll(agg)][-1] == "succeeded"
+
+    def test_global_hold_suppresses_plant_actions(self):
+        storm = ActionRule(alert="storm", action=ACTION_QUARANTINE,
+                           cooldown_s=1.0)
+        policy = policy_of(HOTSPOT, storm, hysteresis_s=0.0,
+                           quarantine_s=10.0)
+        engine = RemediationEngine(policy=policy)
+        agg = make_fake()
+        agg.fire("storm", 0.0)
+        agg.t = 1.0
+        entries = engine.poll(agg)
+        assert entries[-1].status == "succeeded"
+        assert engine.hold_until == pytest.approx(11.0)
+        # The storm subsides but the hold it installed stays in force.
+        agg.resolve("storm", 1.5)
+        agg.fire("hot", 2.0)
+        agg.t = 3.0
+        entries = engine.poll(agg)
+        assert entries[-1].status == "suppressed"
+        assert entries[-1].reason == SUPPRESS_HOLD
+        agg.t = 11.5                          # hold lifted
+        assert engine.poll(agg)[-1].status == "succeeded"
+
+    def test_cooldown_suppresses(self):
+        engine = RemediationEngine(policy=policy_of(HOTSPOT,
+                                                    hysteresis_s=0.0))
+        engine.cooldowns.arm("hot", 0.0, base=5.0)
+        agg = make_fake()
+        agg.fire("hot", 0.0)
+        agg.t = 1.0
+        entries = engine.poll(agg)
+        assert entries[-1].status == "suppressed"
+        assert entries[-1].reason == SUPPRESS_COOLDOWN
+
+    def test_budget_exhaustion_suppresses(self):
+        a = ActionRule(alert="a", action=ACTION_RECONVERT)
+        b = ActionRule(alert="b", action=ACTION_RECONVERT)
+        policy = policy_of(a, b, hysteresis_s=0.0, budget_capacity=1,
+                           budget_refill_per_s=0.0)
+        engine = RemediationEngine(policy=policy)
+        agg = make_fake()
+        agg.fire("a", 0.0)
+        agg.fire("b", 0.0)
+        agg.t = 1.0
+        entries = engine.poll(agg)
+        by_rule = {}
+        for e in entries:
+            by_rule.setdefault(e.rule, []).append(e.status)
+        assert by_rule["a"] == ["planned", "started", "succeeded"]
+        assert by_rule["b"] == ["planned", "suppressed"]
+        suppressed = [e for e in entries if e.status == "suppressed"]
+        assert suppressed[0].reason == SUPPRESS_BUDGET
+
+    def test_resolution_resets_cooldown_ladder(self):
+        engine = RemediationEngine(policy=policy_of(HOTSPOT,
+                                                    hysteresis_s=0.0))
+        agg = make_fake()
+        agg.fire("hot", 0.0)
+        agg.t = 0.5
+        engine.poll(agg)
+        assert engine.cooldowns.strikes("hot") == 1
+        agg.resolve("hot", 1.0)
+        engine.poll(agg)
+        assert engine.cooldowns.strikes("hot") == 0
+
+
+class TestOutcomes:
+    def test_failed_action_recorded_with_reason(self):
+        engine = RemediationEngine(policy=policy_of(HOTSPOT,
+                                                    hysteresis_s=0.0),
+                                   executor=FailingExecutor())
+        agg = make_fake()
+        agg.fire("hot", 0.0)
+        agg.t = 1.0
+        entries = engine.poll(agg)
+        assert entries[-1].status == "failed"
+        assert entries[-1].reason == "plant said no"
+
+    def test_raising_executor_becomes_failed_entry(self):
+        engine = RemediationEngine(policy=policy_of(HOTSPOT,
+                                                    hysteresis_s=0.0),
+                                   executor=RaisingExecutor())
+        agg = make_fake()
+        agg.fire("hot", 0.0)
+        agg.t = 1.0
+        assert engine.poll(agg)[-1].status == "failed"
+
+    def test_failure_still_arms_cooldown(self):
+        """A failing repair must not be hammered any faster."""
+        engine = RemediationEngine(policy=policy_of(HOTSPOT,
+                                                    hysteresis_s=0.0),
+                                   executor=FailingExecutor())
+        agg = make_fake()
+        agg.fire("hot", 0.0)
+        agg.t = 1.0
+        engine.poll(agg)
+        agg.t = 1.5                           # inside the 1 s cooldown
+        assert engine.poll(agg) == []
+
+
+class TestReplay:
+    def test_hotspot_trace_plans_reconversion(self, hotspot_lines):
+        agg, engine = replay(hotspot_lines)
+        succeeded = engine.ledger.by_status("succeeded")
+        assert succeeded
+        assert engine.ledger.succeeded_actions() == ["reconvert"]
+        assert all(e.rule == "link_hotspot" for e in succeeded)
+
+    def test_every_action_links_to_a_real_alert(self, hotspot_lines):
+        agg, engine = replay(hotspot_lines)
+        fired = {(str(e["rule"]), float(e["t"]))  # type: ignore[arg-type]
+                 for e in agg.log if e.get("event") == "alert_firing"}
+        assert fired
+        for entry in engine.ledger.entries:
+            assert (entry.rule, entry.alert_t) in fired
+
+    def test_double_replay_byte_identical(self, hotspot_lines):
+        _, first = replay(hotspot_lines)
+        _, second = replay(hotspot_lines)
+        assert first.ledger.to_json() == second.ledger.to_json()
+
+    def test_failure_trace_plans_heal(self, failure_lines):
+        agg, engine = replay(failure_lines)
+        assert ACTION_HEAL in engine.ledger.succeeded_actions()
+        assert agg.dark_open                 # window still open at finish
+
+    def test_plan_only_executor_records_calls(self, hotspot_lines):
+        executor = PlanOnlyExecutor()
+        _, engine = replay(hotspot_lines, executor=executor)
+        assert executor.performed
+        action, rule, t = executor.performed[0]
+        assert action == ACTION_RECONVERT
+        assert rule == "link_hotspot"
+
+    def test_bad_json_raises(self):
+        with pytest.raises(ReproError, match="line 2"):
+            replay([link_sample(0.0, "a->b", 0.5), "{nope"])
+
+    def test_wire_events_schema_valid(self, memory_sink, hotspot_lines):
+        replay(hotspot_lines)
+        names = [e["name"] for e in memory_sink.events
+                 if str(e.get("name", "")).startswith("selfheal.")]
+        assert "selfheal.action_planned" in names
+        assert "selfheal.action_started" in names
+        assert "selfheal.action_succeeded" in names
+        for event in memory_sink.events:
+            assert check_event(event) == []
+
+
+class TestAggregatorWiring:
+    def test_selfheal_aggregator_has_link_failure_rule(self):
+        agg = new_selfheal_aggregator()
+        assert "link_failure" in agg.rules.states
+        assert "link_hotspot" in agg.rules.states

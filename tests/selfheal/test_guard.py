@@ -1,0 +1,128 @@
+"""Anti-flap guards: token bucket, cooldown gate, flap detector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.selfheal.guard import CooldownGate, FlapDetector, TokenBucket
+
+
+class TestTokenBucket:
+    def test_starts_full_and_spends(self):
+        bucket = TokenBucket(capacity=2, refill_per_s=1.0)
+        assert bucket.take(0.0)
+        assert bucket.take(0.0)
+        assert not bucket.take(0.0)
+
+    def test_refills_in_trace_time(self):
+        bucket = TokenBucket(capacity=1, refill_per_s=0.5)
+        assert bucket.take(0.0)
+        assert not bucket.take(1.0)       # only 0.5 tokens back
+        assert bucket.take(2.0)           # fully refilled
+
+    def test_clamped_at_capacity(self):
+        bucket = TokenBucket(capacity=3, refill_per_s=10.0)
+        bucket.take(0.0)
+        assert bucket.available(100.0) == pytest.approx(3.0)
+
+    def test_clock_never_runs_backwards(self):
+        bucket = TokenBucket(capacity=1, refill_per_s=1.0)
+        assert bucket.take(5.0)
+        # A stale timestamp refills nothing and does not crash.
+        assert not bucket.take(4.0)
+        assert bucket.take(6.0)
+
+    def test_next_token_at(self):
+        bucket = TokenBucket(capacity=1, refill_per_s=0.5)
+        assert bucket.next_token_at(0.0) == 0.0
+        bucket.take(0.0)
+        assert bucket.next_token_at(0.0) == pytest.approx(2.0)
+
+    def test_zero_refill_never_returns(self):
+        bucket = TokenBucket(capacity=1, refill_per_s=0.0)
+        bucket.take(0.0)
+        assert bucket.next_token_at(1.0) == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            TokenBucket(capacity=0, refill_per_s=1.0)
+        with pytest.raises(ReproError):
+            TokenBucket(capacity=1, refill_per_s=-1.0)
+
+
+class TestCooldownGate:
+    def test_ready_until_armed(self):
+        gate = CooldownGate()
+        assert gate.ready("a", 0.0)
+        gate.arm("a", 0.0, base=1.0)
+        assert not gate.ready("a", 0.5)
+        assert gate.ready("a", 1.0)
+
+    def test_exponential_escalation(self):
+        gate = CooldownGate()
+        assert gate.arm("a", 0.0, base=1.0, factor=2.0) == 1.0
+        assert gate.arm("a", 1.0, base=1.0, factor=2.0) == 2.0
+        assert gate.arm("a", 3.0, base=1.0, factor=2.0) == 4.0
+        assert gate.strikes("a") == 3
+
+    def test_cap(self):
+        gate = CooldownGate()
+        gate.arm("a", 0.0, base=10.0, factor=10.0, cap=15.0)
+        assert gate.arm("a", 0.0, base=10.0, factor=10.0, cap=15.0) == 15.0
+
+    def test_reset_clears_escalation(self):
+        gate = CooldownGate()
+        gate.arm("a", 0.0, base=1.0, factor=2.0)
+        gate.reset("a")
+        assert gate.strikes("a") == 0
+        assert gate.ready("a", 0.0)
+
+    def test_keys_independent(self):
+        gate = CooldownGate()
+        gate.arm("a", 0.0, base=10.0)
+        assert gate.ready("b", 0.0)
+
+
+class TestFlapDetector:
+    def test_quarantines_after_oscillations(self):
+        det = FlapDetector(oscillations=3, window_s=5.0, quarantine_s=10.0)
+        det.record_firing("r", 0.0)
+        det.record_firing("r", 1.0)
+        assert not det.is_quarantined("r", 1.0)
+        det.record_firing("r", 2.0)
+        assert det.is_quarantined("r", 2.0)
+        assert det.quarantined_until("r") == pytest.approx(12.0)
+
+    def test_window_prunes_old_firings(self):
+        det = FlapDetector(oscillations=3, window_s=5.0, quarantine_s=10.0)
+        det.record_firing("r", 0.0)
+        det.record_firing("r", 1.0)
+        det.record_firing("r", 7.0)   # first two fell out of the window
+        assert not det.is_quarantined("r", 7.0)
+
+    def test_quarantine_expires(self):
+        det = FlapDetector(oscillations=2, window_s=5.0, quarantine_s=2.0)
+        det.record_firing("r", 0.0)
+        det.record_firing("r", 1.0)
+        assert det.is_quarantined("r", 2.9)
+        assert not det.is_quarantined("r", 3.0)
+
+    def test_quarantine_escalates_and_caps(self):
+        det = FlapDetector(oscillations=2, window_s=100.0,
+                           quarantine_s=4.0, max_quarantine_s=10.0)
+        det.record_firing("r", 0.0)
+        det.record_firing("r", 0.1)
+        assert det.quarantined_until("r") == pytest.approx(4.1)
+        det.record_firing("r", 10.0)
+        det.record_firing("r", 10.1)
+        assert det.quarantined_until("r") == pytest.approx(18.1)  # 2x
+        det.record_firing("r", 30.0)
+        det.record_firing("r", 30.1)
+        assert det.quarantined_until("r") == pytest.approx(40.1)  # capped
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            FlapDetector(oscillations=1)
+        with pytest.raises(ReproError):
+            FlapDetector(window_s=0.0)

@@ -1,0 +1,78 @@
+"""Remediation ledger: append-only audit with deterministic export."""
+
+from __future__ import annotations
+
+import json
+
+from repro.selfheal.ledger import (
+    SCHEMA,
+    STATUS_SUCCEEDED,
+    STATUSES,
+    RemediationLedger,
+)
+
+
+def sample_ledger():
+    ledger = RemediationLedger()
+    ledger.add(t=1.0, status="planned", action="reconvert",
+               rule="link_hotspot", alert_t=0.5)
+    ledger.add(t=1.0, status="started", action="reconvert",
+               rule="link_hotspot", alert_t=0.5)
+    ledger.add(t=1.0, status="succeeded", action="reconvert",
+               rule="link_hotspot", alert_t=0.5, latency_s=0.09,
+               detail="3 batches")
+    ledger.add(t=2.0, status="suppressed", action="heal",
+               rule="link_failure", alert_t=1.8, reason="cooldown")
+    return ledger
+
+
+class TestAppend:
+    def test_seq_is_append_order(self):
+        ledger = sample_ledger()
+        assert [e.seq for e in ledger.entries] == [0, 1, 2, 3]
+        assert len(ledger) == 4
+
+    def test_counts_cover_all_statuses(self):
+        counts = sample_ledger().counts()
+        assert set(counts) == set(STATUSES)
+        assert counts["succeeded"] == 1
+        assert counts["failed"] == 0
+
+    def test_by_status_and_succeeded_actions(self):
+        ledger = sample_ledger()
+        assert len(ledger.by_status(STATUS_SUCCEEDED)) == 1
+        assert ledger.succeeded_actions() == ["reconvert"]
+
+    def test_cause_linkage_carried(self):
+        entry = sample_ledger().entries[2]
+        assert entry.rule == "link_hotspot"
+        assert entry.alert_t == 0.5
+
+
+class TestExport:
+    def test_json_deterministic(self):
+        assert sample_ledger().to_json() == sample_ledger().to_json()
+
+    def test_json_schema_and_shape(self):
+        payload = json.loads(sample_ledger().to_json())
+        assert payload["schema"] == SCHEMA
+        assert len(payload["entries"]) == 4
+        assert payload["counts"]["suppressed"] == 1
+        assert sample_ledger().to_json().endswith("\n")
+
+    def test_nan_scrubbed_to_null(self):
+        ledger = RemediationLedger()
+        ledger.add(t=0.0, status="succeeded", action="heal", rule="r",
+                   alert_t=0.0, latency_s=float("nan"))
+        payload = json.loads(ledger.to_json())
+        assert payload["entries"][0]["latency_s"] is None
+
+    def test_render_text(self):
+        text = sample_ledger().render_text()
+        assert "remediation ledger" in text
+        assert "latency 0.090s" in text
+        assert "cooldown" in text
+        assert "4 ledger entries" in text
+
+    def test_empty_summary(self):
+        assert RemediationLedger().summary() == "0 ledger entries: empty"

@@ -1,0 +1,110 @@
+"""SelfHealLoop thread hygiene: tailing, teardown, crash containment."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ReproError
+from repro.selfheal.engine import RemediationEngine
+from repro.selfheal.loop import SelfHealLoop
+
+from .conftest import link_sample
+
+
+def write_trace(path, lines):
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def no_selfheal_threads():
+    return not any(t.name == "repro-selfheal-loop" and t.is_alive()
+                   for t in threading.enumerate())
+
+
+class TestTailing:
+    def test_replays_existing_file(self, tmp_path, hotspot_lines):
+        # Only the burning half of the trace: the loop tails the whole
+        # file in one batch, and an alert must still be firing at poll
+        # time for the engine to act on it.
+        burning = hotspot_lines[:240]
+        trace = tmp_path / "trace.jsonl"
+        write_trace(trace, burning)
+        loop = SelfHealLoop(str(trace), poll_s=0.01, max_polls=3)
+        loop.start()
+        assert loop.finished.wait(10.0)
+        loop.stop()
+        assert loop.lines_read == len(burning)
+        assert loop.engine.ledger.succeeded_actions() == ["reconvert"]
+        assert loop.error is None
+
+    def test_bad_lines_counted_not_fatal(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        write_trace(trace, [link_sample(0.0, "a->b", 0.5), "{nope", ""])
+        with SelfHealLoop(str(trace), poll_s=0.01, max_polls=2) as loop:
+            assert loop.finished.wait(10.0)
+        assert loop.bad_lines == 1
+        assert loop.lines_read == 2  # blank line skipped entirely
+
+    def test_missing_file_is_an_empty_poll(self, tmp_path):
+        loop = SelfHealLoop(str(tmp_path / "never.jsonl"),
+                            poll_s=0.01, max_polls=2)
+        loop.start()
+        assert loop.finished.wait(10.0)
+        loop.stop()
+        assert loop.empty_polls >= 2
+        assert loop.lines_read == 0
+
+    def test_rejects_bad_poll_interval(self):
+        with pytest.raises(ReproError, match="poll_s"):
+            SelfHealLoop("x.jsonl", poll_s=0.0)
+
+
+class TestHygiene:
+    def test_context_manager_stops_thread_on_body_exception(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        write_trace(trace, [link_sample(0.0, "a->b", 0.5)])
+        with pytest.raises(RuntimeError, match="boom"):
+            with SelfHealLoop(str(trace), poll_s=0.01):
+                raise RuntimeError("boom")
+        assert no_selfheal_threads()
+
+    def test_stop_is_idempotent(self, tmp_path):
+        loop = SelfHealLoop(str(tmp_path / "t.jsonl"), poll_s=0.01)
+        loop.start()
+        loop.stop()
+        loop.stop()  # second stop is a no-op, not an error
+        assert no_selfheal_threads()
+
+    def test_cannot_restart(self, tmp_path):
+        loop = SelfHealLoop(str(tmp_path / "t.jsonl"), poll_s=0.01,
+                            max_polls=1)
+        loop.start()
+        with pytest.raises(ReproError, match="already started"):
+            loop.start()
+        loop.stop()
+
+    @pytest.mark.filterwarnings(
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning")
+    def test_crashing_engine_recorded_and_loop_finalizes(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        write_trace(trace, [link_sample(0.0, "a->b", 0.5)])
+
+        class BrokenEngine(RemediationEngine):
+            calls = 0
+
+            def poll(self, aggregator):
+                # First poll (the tail batch) explodes; the finally
+                # block's last poll must still run without masking it.
+                BrokenEngine.calls += 1
+                if BrokenEngine.calls == 1:
+                    raise RuntimeError("engine crashed")
+                return []
+
+        loop = SelfHealLoop(str(trace), poll_s=0.01,
+                            engine=BrokenEngine())
+        loop.start()
+        assert loop.finished.wait(10.0)  # finalized despite the crash
+        assert isinstance(loop.error, RuntimeError)
+        loop.stop()
+        assert no_selfheal_threads()

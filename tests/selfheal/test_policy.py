@@ -1,0 +1,100 @@
+"""Policy vocabulary, validation, and the shipped catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.health.rules import default_rules
+from repro.selfheal.policy import (
+    ACTION_BACKOFF,
+    ACTION_HEAL,
+    ACTION_QUARANTINE,
+    ACTION_RECONVERT,
+    ACTIONS,
+    PLANT_ACTIONS,
+    ActionRule,
+    RemediationPolicy,
+    default_policy,
+    selfheal_rules,
+)
+
+
+class TestActionRule:
+    def test_defaults(self):
+        rule = ActionRule(alert="link_hotspot", action=ACTION_RECONVERT)
+        assert rule.cooldown_s == 1.0
+        assert rule.backoff_factor == 2.0
+        assert rule.mode == "global-random"
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ReproError, match="unknown remediation action"):
+            ActionRule(alert="a", action="reboot")
+
+    def test_empty_alert_rejected(self):
+        with pytest.raises(ReproError, match="alert name"):
+            ActionRule(alert="", action=ACTION_HEAL)
+
+    def test_bad_cooldown_rejected(self):
+        with pytest.raises(ReproError, match="cooldown"):
+            ActionRule(alert="a", action=ACTION_HEAL, cooldown_s=-1.0)
+        with pytest.raises(ReproError, match="backoff_factor"):
+            ActionRule(alert="a", action=ACTION_HEAL, backoff_factor=0.5)
+        with pytest.raises(ReproError, match="max_cooldown_s"):
+            ActionRule(alert="a", action=ACTION_HEAL,
+                       cooldown_s=5.0, max_cooldown_s=1.0)
+
+    def test_plant_actions_subset(self):
+        assert set(PLANT_ACTIONS) < set(ACTIONS)
+        assert ACTION_QUARANTINE not in PLANT_ACTIONS
+        assert ACTION_BACKOFF not in PLANT_ACTIONS
+
+
+class TestRemediationPolicy:
+    def test_for_alert_lookup(self):
+        rule = ActionRule(alert="link_hotspot", action=ACTION_RECONVERT)
+        policy = RemediationPolicy(rules=(rule,))
+        assert policy.for_alert("link_hotspot") is rule
+        assert policy.for_alert("unmapped") is None
+
+    def test_duplicate_alert_rejected(self):
+        with pytest.raises(ReproError, match="duplicate"):
+            RemediationPolicy(rules=(
+                ActionRule(alert="a", action=ACTION_HEAL),
+                ActionRule(alert="a", action=ACTION_RECONVERT),
+            ))
+
+    def test_guard_knobs_validated(self):
+        with pytest.raises(ReproError, match="hysteresis"):
+            RemediationPolicy(hysteresis_s=-0.1)
+        with pytest.raises(ReproError, match="budget_capacity"):
+            RemediationPolicy(budget_capacity=0)
+        with pytest.raises(ReproError, match="flap_oscillations"):
+            RemediationPolicy(flap_oscillations=1)
+
+    def test_describe_names_mappings(self):
+        policy = default_policy()
+        text = policy.describe()
+        assert "link_hotspot->reconvert" in text
+        assert "budget 8" in text
+
+
+class TestShippedCatalog:
+    def test_every_rule_validates(self):
+        policy = default_policy()
+        assert len(policy.rules) == 6
+        assert all(r.action in ACTIONS for r in policy.rules)
+
+    def test_catalog_covers_health_rules(self):
+        """Every shipped health alert has a mapped remediation."""
+        policy = default_policy()
+        known = {r.name for r in default_rules()}
+        known |= {r.name for r in selfheal_rules()}
+        for rule in policy.rules:
+            assert rule.alert in known
+
+    def test_link_failure_rule_probe(self):
+        (rule,) = selfheal_rules()
+        assert rule.name == "link_failure"
+        assert rule.probe == "conversion.dark_open"
+        assert rule.severity == "critical"

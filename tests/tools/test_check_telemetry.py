@@ -167,3 +167,34 @@ def test_hotspot_session_requires_out(tmp_path, capsys):
     path = write_events(tmp_path, [bad])
     assert check_telemetry.main([path]) == 1
     assert "'out'" in capsys.readouterr().err
+
+
+GOOD_SELFHEAL_ACTION = {
+    "ts": 2.0, "name": "selfheal.action_succeeded", "kind": "event",
+    "value": 1, "action": "reconvert", "rule": "link_hotspot",
+    "latency_s": 0.09, "t": 2.4,
+}
+
+
+def test_selfheal_action_stream_passes(tmp_path, capsys):
+    path = write_events(tmp_path, [GOOD_SELFHEAL_ACTION])
+    assert check_telemetry.main([path]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_selfheal_action_requires_rule(tmp_path, capsys):
+    bad = dict(GOOD_SELFHEAL_ACTION)
+    del bad["rule"]
+    path = write_events(tmp_path, [bad])
+    assert check_telemetry.main([path]) == 1
+    assert "'rule'" in capsys.readouterr().err
+
+
+def test_recover_noop_component_vocabulary(tmp_path, capsys):
+    good = {"ts": 0.2, "name": "chaos.recover_noop", "kind": "event",
+            "value": 1, "component": "cable", "target": "3-7", "t": 1.0}
+    assert check_telemetry.main([write_events(tmp_path, [good])]) == 0
+    bad = dict(good, component="gpu")
+    path = write_events(tmp_path, [bad])
+    assert check_telemetry.main([path]) == 1
+    assert "component" in capsys.readouterr().err

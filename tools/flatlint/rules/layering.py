@@ -48,14 +48,21 @@ ALLOWED: Dict[str, FrozenSet[str]] = {
     # events, never simulator/topology state, so it sits on the
     # foundation alone and any producer stays importable without it.
     "repro.health": _FOUNDATION,
+    # The remediation plane closes the loop: it consumes health-plane
+    # alerts and drives the conversion/chaos/flowsim machinery, so it
+    # sits above all of them (and below experiments/cli).
+    "repro.selfheal": _FOUNDATION | {
+        "repro.topology", "repro.routing", "repro.flowsim", "repro.core",
+        "repro.chaos", "repro.health"},
     "repro.experiments": _FOUNDATION | {
         "repro.topology", "repro.mcf", "repro.routing", "repro.flowsim",
         "repro.traffic", "repro.monitor", "repro.core", "repro.chaos",
-        "repro.analysis"},
+        "repro.analysis", "repro.health", "repro.selfheal"},
     "repro.cli": _FOUNDATION | {
         "repro.topology", "repro.mcf", "repro.routing", "repro.flowsim",
         "repro.traffic", "repro.monitor", "repro.core", "repro.chaos",
-        "repro.analysis", "repro.experiments", "repro.health"},
+        "repro.analysis", "repro.experiments", "repro.health",
+        "repro.selfheal"},
 }
 
 #: repro.obs submodules that are public API; everything else is

@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-session bench-smoke bench-compare figures examples lint clean telemetry-smoke monitor-smoke chaos-smoke health-smoke hotspots-smoke heal-smoke
+.PHONY: install test bench bench-session bench-smoke bench-compare figures examples lint lint-fast clean telemetry-smoke monitor-smoke chaos-smoke health-smoke hotspots-smoke heal-smoke
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -39,17 +39,25 @@ bench-compare:
 		$(PYTHON) -m tools.perfreport compare; \
 	fi
 
-# Static analysis: the domain-aware flatlint pass (FT001-FT005, see
-# docs/static-analysis.md) plus the mypy typing gate configured in
+# Static analysis: the domain-aware flatlint pass (FT001-FT007, incl.
+# the whole-program concurrency-safety and determinism-taint analyses;
+# see docs/static-analysis.md) plus the mypy typing gate configured in
 # pyproject.toml.  mypy is skipped with a notice when not installed
-# (it is in the `dev` extra); flatlint always runs.
+# (it is in the `dev` extra); flatlint always runs.  Exit codes:
+# 0 clean, 1 findings, 2 usage, 3 engine errors (parse failure/crash).
 lint:
-	$(PYTHON) -m tools.flatlint src tests
+	$(PYTHON) -m tools.flatlint src tests tools benchmarks
 	@if $(PYTHON) -c "import mypy" >/dev/null 2>&1; then \
 		$(PYTHON) -m mypy src/repro; \
 	else \
 		echo "lint: mypy not installed - skipping the typing gate (pip install -e .[dev])"; \
 	fi
+
+# Fast inner-loop lint: only the files git reports changed are linted,
+# but src/tools are still parsed as context so the interprocedural
+# rules (FT006/FT007) reason over the whole call graph.
+lint-fast:
+	$(PYTHON) -m tools.flatlint --changed-only src tests tools benchmarks
 
 # Run one small experiment with telemetry enabled, validate the JSONL
 # stream against the wire contract in docs/observability.md, and prove

@@ -33,11 +33,17 @@ from __future__ import annotations
 
 import json
 import math
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+import threading
+from typing import (TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional,
+                    Sequence, Tuple)
 
 from repro.errors import ReproError
 from repro.obs import Ewma, WindowedQuantile, gini
 from repro.obs.sinks import Sink, TelemetryEvent
+
+if TYPE_CHECKING:  # circular at runtime: rules/slo probe the aggregator
+    from repro.health.rules import RulesEngine
+    from repro.health.slo import SloTracker
 
 #: Default sliding-window size for per-metric quantile rollups.
 DEFAULT_WINDOW = 128
@@ -183,8 +189,8 @@ class HealthAggregator:
 
     def __init__(
         self,
-        rules: Optional[object] = None,
-        slos: Sequence[object] = (),
+        rules: Optional["RulesEngine"] = None,
+        slos: Sequence["SloTracker"] = (),
         window: int = DEFAULT_WINDOW,
         alpha: float = DEFAULT_ALPHA,
         eval_every: int = DEFAULT_EVAL_EVERY,
@@ -197,7 +203,7 @@ class HealthAggregator:
         if stale_after <= 0:
             raise ReproError("stale_after must be positive")
         self.rules = rules
-        self.slos: Tuple[object, ...] = tuple(slos)
+        self.slos: Tuple["SloTracker", ...] = tuple(slos)
         self.window = window
         self.alpha = alpha
         self.eval_every = eval_every
@@ -221,6 +227,14 @@ class HealthAggregator:
         #: Trace clock at the last evaluation (so same-``t`` event
         #: batches are judged once, not per eval_every boundary).
         self._last_eval_t = -math.inf
+        #: The health tee runs :meth:`consume` on whatever thread
+        #: emits (the self-heal loop, the sampler's stop path, the
+        #: main thread replaying a file), so every rollup mutation and
+        #: every rule/SLO evaluation happens under this lock.  The
+        #: ``health.*`` early-return in :meth:`consume` stays outside
+        #: it: rule firings re-enter through the tee, and the lock is
+        #: deliberately non-reentrant.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # ingestion
@@ -232,86 +246,89 @@ class HealthAggregator:
         if not isinstance(name, str) or name.startswith("health."):
             return  # never aggregate our own judgments (no feedback loop)
         kind = get("kind")
-        self.events += 1
-        t = get("t")
-        if t.__class__ is float:              # the wire-common case
-            if t > self.t:
-                self.t = t
-        elif isinstance(t, (int, float)) and not isinstance(t, bool):
-            if t > self.t:
-                self.t = float(t)
-        else:
-            t = None
+        with self._lock:
+            self.events += 1
+            t = get("t")
+            if t.__class__ is float:              # the wire-common case
+                if t > self.t:
+                    self.t = t
+            elif isinstance(t, (int, float)) and not isinstance(t, bool):
+                if t > self.t:
+                    self.t = float(t)
+            else:
+                t = None
 
-        if kind == "link_sample":
-            # ~90% of a monitored run's bus traffic lands here: keep it
-            # to two dict probes and one inlined rollup update (the
-            # LinkRollup.record body, spelled out to drop a call frame
-            # per sample — see the 5% bar in benchmarks).
-            link = get("link")
-            utilization = get("utilization")
-            if isinstance(link, str) and isinstance(utilization,
-                                                    (int, float)):
-                rollup = self.links.get(link)
+            if kind == "link_sample":
+                # ~90% of a monitored run's bus traffic lands here: keep
+                # it to two dict probes and one inlined rollup update
+                # (the LinkRollup.record body, spelled out to drop a
+                # call frame per sample — see the 5% bar in benchmarks).
+                link = get("link")
+                utilization = get("utilization")
+                if isinstance(link, str) and isinstance(utilization,
+                                                        (int, float)):
+                    rollup = self.links.get(link)
+                    if rollup is None:
+                        rollup = LinkRollup(link, self.alpha)
+                        self.links[link] = rollup
+                    rollup.samples += 1
+                    ewma = rollup.ewma
+                    ewma.count += 1
+                    if ewma.count == 1:
+                        ewma.value = utilization
+                    else:
+                        ewma.value += ewma.alpha * (utilization - ewma.value)
+                    rollup.last = utilization
+                    rollup.last_t = self.t if t is None else t
+                    if utilization > rollup.peak:
+                        rollup.peak = utilization
+            elif kind == "link_down":
+                link = event.get("link")
+                if isinstance(link, str) and t is not None:
+                    self.dark_open.setdefault(link, float(t))
+            elif kind == "link_up":
+                link = event.get("link")
+                if isinstance(link, str) and t is not None:
+                    down_t = self.dark_open.pop(link, None)
+                    if down_t is not None:
+                        self.dark_seconds += max(0.0, float(t) - down_t)
+                        self.blink_windows += 1
+            elif kind in ("histogram", "gauge", "counter"):
+                value = event.get("value")
+                if isinstance(value, (int, float)) \
+                        and not isinstance(value, bool):
+                    self._metric(name, str(kind)).record(float(value))
+            elif kind == "timer":
+                duration = event.get("duration_s")
+                if isinstance(duration, (int, float)):
+                    self._metric(name, "timer").record(float(duration))
+            elif kind == "event":
+                rollup = self.event_counts.get(name)
                 if rollup is None:
-                    rollup = LinkRollup(link, self.alpha)
-                    self.links[link] = rollup
-                rollup.samples += 1
-                ewma = rollup.ewma
-                ewma.count += 1
-                if ewma.count == 1:
-                    ewma.value = utilization
-                else:
-                    ewma.value += ewma.alpha * (utilization - ewma.value)
-                rollup.last = utilization
-                rollup.last_t = self.t if t is None else t
-                if utilization > rollup.peak:
-                    rollup.peak = utilization
-        elif kind == "link_down":
-            link = event.get("link")
-            if isinstance(link, str) and t is not None:
-                self.dark_open.setdefault(link, float(t))
-        elif kind == "link_up":
-            link = event.get("link")
-            if isinstance(link, str) and t is not None:
-                down_t = self.dark_open.pop(link, None)
-                if down_t is not None:
-                    self.dark_seconds += max(0.0, float(t) - down_t)
-                    self.blink_windows += 1
-        elif kind in ("histogram", "gauge", "counter"):
-            value = event.get("value")
-            if isinstance(value, (int, float)) and not isinstance(value, bool):
-                self._metric(name, str(kind)).record(float(value))
-        elif kind == "timer":
-            duration = event.get("duration_s")
-            if isinstance(duration, (int, float)):
-                self._metric(name, "timer").record(float(duration))
-        elif kind == "event":
-            rollup = self.event_counts.get(name)
-            if rollup is None:
-                rollup = EventRollup(name, self.window)
-                self.event_counts[name] = rollup
-            rollup.record(None if t is None else float(t))
-            if name == "progress.heartbeat":
-                phase = event.get("phase")
-                if isinstance(phase, str) and phase:
-                    self.progress[phase] = {
-                        "done": event.get("done"),
-                        "total": event.get("total"),
-                        "elapsed_s": event.get("elapsed_s"),
-                        "eta_s": event.get("eta_s"),
-                        "rss_kb": event.get("rss_kb"),
-                    }
-        # span events carry phase timings already rolled up by
-        # repro.obs.perf; the health plane does not re-aggregate them.
+                    rollup = EventRollup(name, self.window)
+                    self.event_counts[name] = rollup
+                rollup.record(None if t is None else float(t))
+                if name == "progress.heartbeat":
+                    phase = event.get("phase")
+                    if isinstance(phase, str) and phase:
+                        self.progress[phase] = {
+                            "done": event.get("done"),
+                            "total": event.get("total"),
+                            "elapsed_s": event.get("elapsed_s"),
+                            "eta_s": event.get("eta_s"),
+                            "rss_kb": event.get("rss_kb"),
+                        }
+            # span events carry phase timings already rolled up by
+            # repro.obs.perf; the health plane does not re-aggregate them.
 
-        # Judge every ``eval_every`` events, but only once per distinct
-        # trace-clock value: the monitor emits each sampling step as a
-        # same-``t`` batch of per-link events, and re-judging mid-batch
-        # would re-derive the same verdict at O(links) cost each time.
-        if (self.events % self.eval_every == 0
-                and self.t > self._last_eval_t):
-            self.evaluate()
+            # Judge every ``eval_every`` events, but only once per
+            # distinct trace-clock value: the monitor emits each
+            # sampling step as a same-``t`` batch of per-link events,
+            # and re-judging mid-batch would re-derive the same verdict
+            # at O(links) cost each time.
+            if (self.events % self.eval_every == 0
+                    and self.t > self._last_eval_t):
+                self._evaluate_locked()
 
     def _metric(self, name: str, kind: str) -> MetricRollup:
         rollup = self.metrics.get(name)
@@ -341,11 +358,17 @@ class HealthAggregator:
 
     def evaluate(self) -> None:
         """Run the rules engine and SLO trackers against current state."""
+        with self._lock:
+            self._evaluate_locked()
+
+    def _evaluate_locked(self) -> None:
+        # Callers hold self._lock (consume's cadence check calls this
+        # directly — the lock is non-reentrant).
         self._last_eval_t = self.t
         for slo in self.slos:
-            slo.observe(self)  # type: ignore[attr-defined]
+            slo.observe(self)
         if self.rules is not None:
-            self.rules.evaluate(self)  # type: ignore[attr-defined]
+            self.rules.evaluate(self)
 
     # ------------------------------------------------------------------
     # probes (consumed by rules, the report, and the TUI)

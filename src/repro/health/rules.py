@@ -41,7 +41,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro import obs
 from repro.errors import ReproError
@@ -113,13 +113,16 @@ def probe_value(aggregator: "HealthAggregator", probe: str) -> float:
     return _compile_probe(probe)(aggregator)
 
 
+#: One compiled probe: aggregator in, probe value out (nan = undefined).
+ProbeFn = Callable[["HealthAggregator"], float]
+
 #: Parsed probe cache — probes are evaluated on every rule/SLO
 #: evaluation, and re-splitting the same handful of strings each time
 #: is measurable against the health plane's 5% overhead bar.
-_COMPILED_PROBES: Dict[str, object] = {}
+_COMPILED_PROBES: Dict[str, ProbeFn] = {}
 
 
-def _compile_probe(probe: str):
+def _compile_probe(probe: str) -> ProbeFn:
     """Parse a probe name once into an ``aggregator -> float`` callable."""
     fn = _COMPILED_PROBES.get(probe)
     if fn is not None:

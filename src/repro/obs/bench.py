@@ -145,7 +145,10 @@ def build_session(
     return {
         "schema": BENCH_SCHEMA_VERSION,
         "label": label,
-        "ts": time.time(),
+        # Session metadata by contract: ``ts`` records when the bench
+        # ran and is excluded from baseline comparison (see
+        # compare_sessions), so wall time here cannot skew replays.
+        "ts": time.time(),  # flatlint: disable=FT007
         "environment": environment_fingerprint(root),
         "benchmarks": benchmarks,
     }

@@ -135,7 +135,10 @@ def build_document(
         "effective_hz": profile.effective_hz,
         "samples": profile.samples,
         "duration_s": profile.duration_s,
-        "ts": time.time(),
+        # Session metadata by contract: ``ts`` dates the campaign run
+        # and is excluded from hotspot regression comparison, so wall
+        # time here cannot skew replays.
+        "ts": time.time(),  # flatlint: disable=FT007
         "environment": environment_fingerprint(root),
         "stages": stage_records,
         "functions": functions,

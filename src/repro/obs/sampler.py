@@ -210,6 +210,11 @@ class SamplingProfiler:
         self._thread: Optional[threading.Thread] = None
         self._started_at = 0.0
         self._duration_s = 0.0
+        #: ``_duration_s`` is finalized both by the sampler thread's
+        #: ``finally`` (crash path) and by :meth:`stop` (normal path);
+        #: the join() already orders them, but the lock makes the
+        #: handoff explicit rather than implicit in the join.
+        self._state_lock = threading.Lock()
         self.profile: Optional[SampleProfile] = None
 
     @property
@@ -249,8 +254,9 @@ class SamplingProfiler:
             return self.profile
         self._stop.set()
         self._thread.join()
-        if self._duration_s == 0.0:
-            self._duration_s = time.perf_counter() - self._started_at
+        with self._state_lock:
+            if self._duration_s == 0.0:
+                self._duration_s = time.perf_counter() - self._started_at
         self.profile = SampleProfile(
             self._counts, self._samples, self._duration_s, self.hz)
         event("sampler.stop", samples=self._samples,
@@ -313,4 +319,5 @@ class SamplingProfiler:
                 self._samples += 1
         finally:
             self._stop.set()
-            self._duration_s = time.perf_counter() - self._started_at
+            with self._state_lock:
+                self._duration_s = time.perf_counter() - self._started_at

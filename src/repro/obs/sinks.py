@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import json
 import sys
+import threading
 from typing import IO, Dict, List, Optional
 
 #: One telemetry event on the wire: a flat, JSON-ready mapping.
@@ -44,16 +45,24 @@ class NullSink(Sink):
 
 
 class MemorySink(Sink):
-    """Buffers events in a list — the test and notebook sink."""
+    """Buffers events in a list — the test and notebook sink.
+
+    ``emit`` runs on whatever thread hits the bus (the self-heal loop,
+    the sampler's stop path, the main thread), so the buffer is
+    lock-guarded against a concurrent ``clear``.
+    """
 
     def __init__(self) -> None:
         self.events: List[TelemetryEvent] = []
+        self._lock = threading.Lock()
 
     def emit(self, event: TelemetryEvent) -> None:
-        self.events.append(event)
+        with self._lock:
+            self.events.append(event)
 
     def clear(self) -> None:
-        self.events.clear()
+        with self._lock:
+            self.events.clear()
 
     def describe(self) -> str:
         return f"memory({len(self.events)} events)"

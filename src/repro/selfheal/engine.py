@@ -30,6 +30,7 @@ replayed chaos run takes byte-identical decisions (see
 from __future__ import annotations
 
 import json
+import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
@@ -217,6 +218,13 @@ class RemediationEngine:
         self._retry_at: Dict[str, float] = {}
         self._hold_until = float("-inf")
         self._hold_strikes = 0
+        #: :meth:`poll` runs both on the self-heal loop thread and on
+        #: the main thread (replay, tests poking a shared engine), and
+        #: everything below it — guards, ledger, executor, controller —
+        #: mutates engine-owned state.  One lock at this boundary
+        #: covers the whole cone; lock order is engine -> aggregator
+        #: (the aggregator never calls back into the engine).
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     @property
@@ -231,40 +239,41 @@ class RemediationEngine:
         thread does it per tail batch; replay does it per line).
         Returns the ledger entries appended by this poll.
         """
-        log = aggregator.log
-        if self._log_idx >= len(log) and not self._pending:
-            return []
-        while self._log_idx < len(log):
-            entry = log[self._log_idx]
-            self._log_idx += 1
-            kind = entry.get("event")
-            rule = str(entry.get("rule", ""))
-            if not rule:
-                continue
-            t = float(entry.get("t", 0.0))
-            if kind == "alert_firing":
-                self.flaps.record_firing(rule, t)
-                self._pending.setdefault(rule, t)
-            elif kind == "alert_resolved":
-                # Incident over: the repair (or the fabric) worked, so
-                # the escalation ladder resets.  Oscillation is the
-                # flap detector's job, not the cooldown's.
-                self._pending.pop(rule, None)
-                self._retry_at.pop(rule, None)
-                self.cooldowns.reset(rule)
-        now = aggregator.t
-        out: List[LedgerEntry] = []
-        for rule in sorted(self._pending):
-            alert_t = self._pending[rule]
-            action = self.policy.for_alert(rule)
-            if action is None:
-                continue
-            if now - alert_t < self.policy.hysteresis_s:
-                continue  # still inside the observation window
-            if now < self._retry_at.get(rule, float("-inf")):
-                continue
-            out.extend(self._attempt(action, rule, alert_t, now))
-        return out
+        with self._lock:
+            log = aggregator.log
+            if self._log_idx >= len(log) and not self._pending:
+                return []
+            while self._log_idx < len(log):
+                entry = log[self._log_idx]
+                self._log_idx += 1
+                kind = entry.get("event")
+                rule = str(entry.get("rule", ""))
+                if not rule:
+                    continue
+                t = float(entry.get("t", 0.0))
+                if kind == "alert_firing":
+                    self.flaps.record_firing(rule, t)
+                    self._pending.setdefault(rule, t)
+                elif kind == "alert_resolved":
+                    # Incident over: the repair (or the fabric) worked,
+                    # so the escalation ladder resets.  Oscillation is
+                    # the flap detector's job, not the cooldown's.
+                    self._pending.pop(rule, None)
+                    self._retry_at.pop(rule, None)
+                    self.cooldowns.reset(rule)
+            now = aggregator.t
+            out: List[LedgerEntry] = []
+            for rule in sorted(self._pending):
+                alert_t = self._pending[rule]
+                action = self.policy.for_alert(rule)
+                if action is None:
+                    continue
+                if now - alert_t < self.policy.hysteresis_s:
+                    continue  # still inside the observation window
+                if now < self._retry_at.get(rule, float("-inf")):
+                    continue
+                out.extend(self._attempt(action, rule, alert_t, now))
+            return out
 
     # ------------------------------------------------------------------
     def _attempt(self, action: ActionRule, rule: str, alert_t: float,

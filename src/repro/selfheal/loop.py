@@ -22,7 +22,7 @@ from __future__ import annotations
 import json
 import threading
 import time
-from typing import IO, List, Optional
+from typing import IO, Dict, List, Optional
 
 from repro.errors import ReproError
 from repro.health.aggregate import HealthAggregator
@@ -120,8 +120,8 @@ class SelfHealLoop:
             finally:
                 self.finished.set()
 
-    def _drain(self, handle: IO[str]) -> List[dict]:
-        events: List[dict] = []
+    def _drain(self, handle: IO[str]) -> List[Dict[str, object]]:
+        events: List[Dict[str, object]] = []
         while True:
             line = handle.readline()
             if not line:

@@ -408,6 +408,199 @@ class TestFT005BusEmission:
         assert findings == []
 
 
+class TestFT006ConcurrencySafety:
+    """Interprocedural shared-state analysis over the call graph."""
+
+    # Thread entry -> two call frames -> mutation: the finding must
+    # carry the full route, proving the analysis walks the graph
+    # rather than pattern-matching the mutation site.
+    RACY = """\
+        import threading
+
+
+        class Shared:
+            def __init__(self):
+                self.items = []
+                self._thread = threading.Thread(target=self.worker)
+
+            def start(self):
+                self._thread.start()
+
+            def stop(self):
+                self._thread.join()
+
+            def worker(self):
+                self.step()
+
+            def step(self):
+                self.bump()
+
+            def bump(self):
+                self.items.append(1)
+
+            def main_side(self):
+                self.bump()
+        """
+
+    def test_unlocked_shared_mutation_fires_three_frames_deep(
+            self, tmp_path):
+        findings = lint_snippet(tmp_path, "src/repro/zz.py", self.RACY)
+        assert codes(findings) == ["FT006"]
+        message = findings[0].message
+        assert "Shared.items" in message
+        assert ("Shared.worker -> repro.zz.Shared.step -> "
+                "repro.zz.Shared.bump") in message
+
+    def test_lock_at_the_boundary_protects_the_whole_cone(self, tmp_path):
+        # One `with self._lock:` at each entry into the shared helper
+        # silences the rule — no locks needed inside step/bump.
+        findings = lint_snippet(tmp_path, "src/repro/zz.py", """\
+            import threading
+
+
+            class Shared:
+                def __init__(self):
+                    self.items = []
+                    self._lock = threading.Lock()
+                    self._thread = threading.Thread(target=self.worker)
+
+                def start(self):
+                    self._thread.start()
+
+                def stop(self):
+                    self._thread.join()
+
+                def worker(self):
+                    with self._lock:
+                        self.step()
+
+                def step(self):
+                    self.bump()
+
+                def bump(self):
+                    self.items.append(1)
+
+                def main_side(self):
+                    with self._lock:
+                        self.bump()
+            """)
+        assert findings == []
+
+    def test_fires_only_inside_repro(self, tmp_path):
+        assert lint_snippet(tmp_path, "tools/zz.py", self.RACY) == []
+
+    def test_bare_acquire_fires(self, tmp_path):
+        findings = lint_snippet(tmp_path, "src/repro/zz.py", """\
+            def touch(lock):
+                lock.acquire()
+                try:
+                    pass
+                finally:
+                    lock.release()
+            """)
+        assert codes(findings) == ["FT006"]
+        assert "with" in findings[0].message
+
+    def test_thread_without_teardown_fires(self, tmp_path):
+        findings = lint_snippet(tmp_path, "src/repro/zz.py", """\
+            import threading
+
+
+            def fire_and_forget(fn):
+                threading.Thread(target=fn).start()
+            """)
+        assert codes(findings) == ["FT006"]
+        assert "join" in findings[0].message
+
+    def test_inline_suppression(self, tmp_path):
+        findings = lint_snippet(tmp_path, "src/repro/zz.py", """\
+            import threading
+
+
+            def fire_and_forget(fn):
+                threading.Thread(target=fn).start()  # flatlint: disable=FT006
+            """)
+        assert findings == []
+
+
+class TestFT007DeterminismTaint:
+    """Nondeterminism sources flowing into replay-critical sinks."""
+
+    # Source three frames above the sink: record -> stamp -> write ->
+    # ledger.add.  The receiver in `write` is untyped, so dispatch is
+    # unknown — the rule must widen (pseudo-sink `<unknown>.add`), not
+    # drop the taint.
+    TAINTED = """\
+        import time
+
+
+        class RemediationLedger:
+            def __init__(self):
+                self.entries = []
+
+            def add(self, entry):
+                self.entries.append(entry)
+
+
+        def record(ledger: RemediationLedger):
+            stamp(ledger)
+
+
+        def stamp(ledger):
+            write(ledger, time.time())
+
+
+        def write(ledger, ts):
+            ledger.add({"ts": ts})
+        """
+
+    def test_wall_clock_reaching_ledger_fires_with_route(self, tmp_path):
+        findings = lint_snippet(tmp_path, "src/repro/zz.py", self.TAINTED)
+        assert codes(findings) == ["FT007"]
+        message = findings[0].message
+        assert "time.time()" in message
+        # The diagnostic names the source->sink route, and unknown
+        # dispatch widened into the pseudo-sink instead of dropping.
+        assert "repro.zz.stamp -> repro.zz.write" in message
+        assert "add" in message
+
+    def test_trace_clocked_value_is_clean(self, tmp_path):
+        findings = lint_snippet(tmp_path, "src/repro/zz.py", """\
+            class RemediationLedger:
+                def __init__(self):
+                    self.entries = []
+
+                def add(self, entry):
+                    self.entries.append(entry)
+
+
+            def record(ledger, t):
+                ledger.add({"t": t})
+            """)
+        assert findings == []
+
+    def test_fires_only_inside_repro(self, tmp_path):
+        assert lint_snippet(tmp_path, "tools/zz.py", self.TAINTED) == []
+
+    def test_inline_suppression(self, tmp_path):
+        findings = lint_snippet(tmp_path, "src/repro/zz.py", """\
+            import time
+
+
+            class RemediationLedger:
+                def __init__(self):
+                    self.entries = []
+
+                def add(self, entry):
+                    self.entries.append(entry)
+
+
+            def record(ledger: RemediationLedger):
+                ledger.add({"ts": time.time()})  # flatlint: disable=FT007
+            """)
+        assert findings == []
+
+
 class TestSuppressionsAndParseErrors:
     def test_inline_suppression_silences_only_that_code(self, tmp_path):
         findings = lint_snippet(tmp_path, "mod.py", """\
@@ -443,5 +636,6 @@ class TestSuppressionsAndParseErrors:
     def test_every_rule_has_stable_code_and_summary(self):
         rules = all_rules()
         assert [r.code for r in rules] == ["FT001", "FT002", "FT003",
-                                           "FT004", "FT005"]
+                                           "FT004", "FT005", "FT006",
+                                           "FT007"]
         assert all(r.name and r.summary for r in rules)

@@ -1,23 +1,135 @@
 """CLI: ``python -m tools.flatlint [paths ...]``.
 
-Exit status 0 when clean, 1 when findings were reported, 2 on usage
-errors (unknown rule code, unreadable path).
+Exit status:
+
+===  ==========================================================
+0    clean (no findings)
+1    findings were reported
+2    usage error (unknown rule code, unreadable path, bad args)
+3    engine error (a target failed to parse — FT000 — or the
+     analyzer itself crashed); CI treats this as infrastructure
+     failure, not as lint findings
+===  ==========================================================
+
+Subcommand ``graph`` builds the whole-program call graph over the
+given paths (default ``src tools``) and prints it as JSON (schema
+``flatlint.callgraph/1``) — ``--out FILE`` writes it to a file
+instead.
+
+``--changed-only`` lints only the ``.py`` files reported changed by
+git (``git diff --name-only HEAD`` plus untracked files) while still
+parsing ``src`` and ``tools`` as *context*, so the interprocedural
+rules (FT006/FT007) reason over the full call graph even on a
+one-file diff.  This is the ``make lint-fast`` path.
 """
 
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
+import traceback
+from pathlib import Path
 from typing import List, Optional
 
-from . import __version__, all_rules, render_json, render_text, run
+from . import PARSE_ERROR_CODE, __version__, all_rules, render_json, \
+    render_text, run
+from .engine import collect_files
+
+#: Paths always parsed as call-graph context under --changed-only.
+CONTEXT_PATHS = ("src", "tools")
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+EXIT_ENGINE = 3
+
+
+def _changed_python_files(paths: List[str]) -> Optional[List[str]]:
+    """``.py`` files git reports changed or untracked, scoped to *paths*.
+
+    Returns None when git is unavailable (caller falls back to a full
+    lint rather than silently linting nothing).
+    """
+    names: List[str] = []
+    for cmd in (
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            proc = subprocess.run(
+                cmd, capture_output=True, text=True, check=True)
+        except (OSError, subprocess.CalledProcessError):
+            return None
+        names.extend(line.strip() for line in proc.stdout.splitlines()
+                     if line.strip())
+    scopes = [Path(p).resolve() for p in paths]
+    changed: List[str] = []
+    for name in dict.fromkeys(names):  # de-dup, keep order
+        if not name.endswith(".py"):
+            continue
+        path = Path(name)
+        if not path.exists():  # deleted in the diff
+            continue
+        resolved = path.resolve()
+        if any(resolved == scope or scope in resolved.parents
+               for scope in scopes):
+            changed.append(name)
+    return changed
+
+
+def _graph_main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="flatlint graph",
+        description="Export the whole-program call graph as JSON "
+                    "(schema flatlint.callgraph/1).")
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "tools"],
+        help="files or directories to analyze (default: src tools)")
+    parser.add_argument(
+        "--out", metavar="FILE",
+        help="write the graph JSON here instead of stdout")
+    args = parser.parse_args(argv)
+    try:
+        files = collect_files(list(args.paths))
+    except FileNotFoundError as exc:
+        print(f"flatlint: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        from .engine import Project, SourceFile
+        loaded = []
+        for path in files:
+            try:
+                loaded.append(SourceFile.load(path))
+            except SyntaxError:
+                print(f"flatlint: skipping unparseable {path}",
+                      file=sys.stderr)
+        graph = Project(files=loaded).callgraph()
+        text = graph.to_json()
+    except Exception:  # noqa: BLE001 - CLI boundary: report, exit 3
+        traceback.print_exc()
+        print("flatlint: internal error while building the call graph",
+              file=sys.stderr)
+        return EXIT_ENGINE
+    if args.out:
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"flatlint: wrote call graph "
+              f"({len(graph.edges)} edges) to {args.out}")
+    else:
+        print(text, end="")
+    return EXIT_CLEAN
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "graph":
+        return _graph_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="flatlint",
         description="Domain-aware static analysis for the Flat-tree repo "
-                    "(rule catalog: docs/static-analysis.md).",
+                    "(rule catalog: docs/static-analysis.md; "
+                    "'flatlint graph' exports the call graph).",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src", "tests"],
@@ -29,6 +141,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--select", metavar="CODES",
         help="comma-separated rule codes to run (e.g. FT001,FT004)")
     parser.add_argument(
+        "--changed-only", action="store_true",
+        help="lint only files git reports changed; src/tools are still "
+             "parsed as context so FT006/FT007 see the whole program")
+    parser.add_argument(
+        "--out", metavar="FILE",
+        help="also write the JSON report here (CI artifact)")
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalog and exit")
     parser.add_argument(
@@ -39,7 +158,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.list_rules:
         for rule in rules:
             print(f"{rule.code}  {rule.name:20s} {rule.summary}")
-        return 0
+        return EXIT_CLEAN
 
     select = None
     if args.select:
@@ -53,17 +172,44 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"(known: {', '.join(sorted(known))})",
                 file=sys.stderr,
             )
-            return 2
+            return EXIT_USAGE
+
+    paths = list(args.paths)
+    context: Optional[List[str]] = None
+    if args.changed_only:
+        changed = _changed_python_files(paths)
+        if changed is None:
+            print("flatlint: git unavailable, falling back to a full lint",
+                  file=sys.stderr)
+        elif not changed:
+            print("flatlint: no changed python files under "
+                  + " ".join(paths) + "; nothing to lint")
+            if args.out:
+                Path(args.out).write_text(
+                    render_json([], 0) + "\n", encoding="utf-8")
+            return EXIT_CLEAN
+        else:
+            paths = changed
+            context = [p for p in CONTEXT_PATHS if Path(p).exists()]
 
     try:
-        findings, files_checked = run(list(args.paths), select)
+        findings, files_checked = run(paths, select, context_paths=context)
     except FileNotFoundError as exc:
         print(f"flatlint: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
+    except Exception:  # noqa: BLE001 - CLI boundary: report, exit 3
+        traceback.print_exc()
+        print("flatlint: internal analyzer error", file=sys.stderr)
+        return EXIT_ENGINE
 
+    if args.out:
+        Path(args.out).write_text(
+            render_json(findings, files_checked) + "\n", encoding="utf-8")
     render = render_json if args.format == "json" else render_text
     print(render(findings, files_checked))
-    return 1 if findings else 0
+    if any(f.code == PARSE_ERROR_CODE for f in findings):
+        return EXIT_ENGINE
+    return EXIT_FINDINGS if findings else EXIT_CLEAN
 
 
 if __name__ == "__main__":

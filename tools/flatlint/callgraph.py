@@ -1,0 +1,478 @@
+"""Whole-program call graph over the flatlint symbol table.
+
+Nodes are function qualnames from :class:`tools.flatlint.symbols.
+SymbolTable` (plus pseudo-nodes); edges carry the resolution *kind* and
+whether the call site sat lexically under a ``with <lock>:`` block —
+the two facts the interprocedural rules consume.
+
+Edge kinds, in decreasing confidence:
+
+``direct``
+    The callee resolved: a plain function call through imports, a
+    ``self.method()`` lookup (including project base classes), an
+    attribute call through an inferred receiver type
+    (``self.engine.poll`` with ``engine: RemediationEngine``), or a
+    constructor (edge to ``Class.__init__``).
+``widened``
+    Dynamic dispatch approximated by name: overrides of a resolved base
+    method (``sink.emit`` through a ``Sink``-typed receiver reaches
+    every project ``emit`` override), bound-method aliases
+    (``self._forward = inner.emit``), and attribute calls on *untyped*
+    receivers, which widen to every project **method** of that name.
+``unknown``
+    The unresolvable remainder of an untyped attribute call — an edge
+    to the pseudo-node ``<unknown>.<name>``.  Analyses must treat these
+    pessimistically (FT007 taints through them; see the tests).
+``external``
+    A call that resolved through imports to something outside the
+    project (``time.time``, ``threading.Thread``).  Kept as edges so
+    taint sources need no second AST walk.
+
+Export the graph with ``python -m tools.flatlint graph`` (schema
+``flatlint.callgraph/1``); :meth:`CallGraph.from_json` round-trips it.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .astutil import dotted_name
+from .symbols import (BUILTIN_CONTAINERS, SYNC_PRIMITIVES, FunctionInfo,
+                      SymbolTable, _self_param)
+
+__all__ = ["Edge", "CallGraph", "UNKNOWN_PREFIX", "lockish_expr",
+           "type_env"]
+
+#: Pseudo-node namespace for unresolvable attribute calls.
+UNKNOWN_PREFIX = "<unknown>"
+
+#: Name widening fans out to at most this many same-name methods; a
+#: bigger fan-out (``.get``-style names) degrades to the unknown node
+#: rather than wiring the whole project together.
+_MAX_WIDEN = 24
+
+GRAPH_SCHEMA = "flatlint.callgraph/1"
+
+#: Bare-name builtins whose calls carry no interprocedural information;
+#: dropping them keeps the unknown-node set about actual dispatch.
+#: ``id`` is deliberately *not* here — FT007 treats it as a
+#: nondeterminism source and needs the ``<unknown>.id`` edge.
+_PURE_BUILTINS = frozenset({
+    "abs", "all", "any", "bool", "bytes", "callable", "dict", "divmod",
+    "enumerate", "filter", "float", "format", "frozenset", "getattr",
+    "hasattr", "int", "isinstance", "issubclass", "iter", "len", "list",
+    "map", "max", "min", "next", "object", "print", "range", "repr",
+    "reversed", "round", "set", "setattr", "slice", "sorted", "str",
+    "sum", "super", "tuple", "type", "zip",
+})
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One call site: caller -> callee."""
+
+    caller: str
+    callee: str
+    line: int
+    kind: str            # direct | widened | unknown | external
+    under_lock: bool
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "caller": self.caller,
+            "callee": self.callee,
+            "line": self.line,
+            "kind": self.kind,
+            "under_lock": self.under_lock,
+        }
+
+
+def lockish_expr(symtab: Optional[SymbolTable], module: str,
+                 node: ast.AST) -> bool:
+    """Does this with-item expression look like a lock acquisition?
+
+    Name-based (the final attribute component contains ``lock``) plus
+    type-based (the attribute was assigned ``threading.Lock()`` /
+    ``RLock()`` somewhere in its class).
+    """
+    dotted = dotted_name(node)
+    if dotted is not None and "lock" in dotted.rsplit(".", 1)[-1].lower():
+        return True
+    if symtab is None or not isinstance(node, ast.Attribute):
+        return False
+    for cls in symtab.classes.values():
+        if cls.module != module:
+            continue
+        sync = cls.attr_sync.get(node.attr)
+        if sync in ("threading.Lock", "threading.RLock"):
+            return True
+    return False
+
+
+class CallGraph:
+    """Directed call graph with forward/reverse adjacency."""
+
+    def __init__(self, symtab: Optional[SymbolTable] = None,
+                 edges: Optional[Sequence[Edge]] = None) -> None:
+        self.symtab = symtab
+        self.edges: List[Edge] = list(edges) if edges is not None else []
+        if symtab is not None and edges is None:
+            self._build(symtab)
+        self.out: Dict[str, List[Edge]] = {}
+        self.into: Dict[str, List[Edge]] = {}
+        for edge in self.edges:
+            self.out.setdefault(edge.caller, []).append(edge)
+            self.into.setdefault(edge.callee, []).append(edge)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build(self, symtab: SymbolTable) -> None:
+        for fn in symtab.functions.values():
+            _FunctionWalker(symtab, fn, self.edges).walk()
+        # Stable order so JSON exports and reports are deterministic.
+        self.edges.sort(key=lambda e: (e.caller, e.line, e.callee, e.kind))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def reachable(self, roots: Iterable[str],
+                  kinds: Tuple[str, ...] = ("direct", "widened"),
+                  unlocked_only: bool = False,
+                  ) -> Dict[str, Optional[str]]:
+        """BFS over out-edges: node -> parent (roots map to None).
+
+        With *unlocked_only*, call sites under ``with <lock>:`` are not
+        traversed: the result is the set of functions some path reaches
+        with **no lock held anywhere along it** — the set FT006 scans
+        for unprotected mutations, since a lock at any frame above a
+        call protects everything below it.
+        """
+        parents: Dict[str, Optional[str]] = {}
+        queue: List[str] = []
+        for root in roots:
+            if root not in parents:
+                parents[root] = None
+                queue.append(root)
+        while queue:
+            node = queue.pop(0)
+            for edge in self.out.get(node, ()):
+                if edge.kind not in kinds:
+                    continue
+                if unlocked_only and edge.under_lock:
+                    continue
+                if edge.callee in parents:
+                    continue
+                parents[edge.callee] = node
+                queue.append(edge.callee)
+        return parents
+
+    @staticmethod
+    def path_to(parents: Dict[str, Optional[str]], node: str) -> List[str]:
+        """Root-first call path to *node* from its BFS parents."""
+        path = [node]
+        seen = {node}
+        cursor = parents.get(node)
+        while cursor is not None and cursor not in seen:
+            path.append(cursor)
+            seen.add(cursor)
+            cursor = parents.get(cursor)
+        path.reverse()
+        return path
+
+    # ------------------------------------------------------------------
+    # JSON round-trip
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, object]:
+        functions: List[Dict[str, object]] = []
+        if self.symtab is not None:
+            for qual in sorted(self.symtab.functions):
+                fn = self.symtab.functions[qual]
+                functions.append({
+                    "qualname": fn.qualname,
+                    "module": fn.module,
+                    "class": fn.cls,
+                    "path": fn.path,
+                    "line": fn.lineno,
+                })
+        return {
+            "schema": GRAPH_SCHEMA,
+            "functions": functions,
+            "edges": [edge.as_dict() for edge in self.edges],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, payload: str) -> "CallGraph":
+        data = json.loads(payload)
+        if data.get("schema") != GRAPH_SCHEMA:
+            raise ValueError(
+                f"unsupported call-graph schema {data.get('schema')!r}")
+        edges = [
+            Edge(caller=str(e["caller"]), callee=str(e["callee"]),
+                 line=int(e["line"]), kind=str(e["kind"]),
+                 under_lock=bool(e["under_lock"]))
+            for e in data.get("edges", ())
+        ]
+        return cls(symtab=None, edges=edges)
+
+
+def type_env(symtab: SymbolTable, fn: FunctionInfo,
+             ) -> Tuple[Optional[str], Dict[str, Set[str]]]:
+    """(self-parameter name, local-variable type map) for one function.
+
+    The same inference the edge builder uses, exposed so analyses
+    (FT006 mutation scanning) type receivers consistently with the
+    graph they traverse.
+    """
+    walker = _FunctionWalker(symtab, fn, [])
+    return walker.self_name, walker.local_types
+
+
+class _FunctionWalker:
+    """Walks one function body, emitting edges with lock context.
+
+    Nested function/lambda bodies are attributed to the enclosing
+    function (they have no graph node of their own); nested class
+    definitions are skipped (their methods are separate nodes).
+    """
+
+    def __init__(self, symtab: SymbolTable, fn: FunctionInfo,
+                 edges: List[Edge]) -> None:
+        self.symtab = symtab
+        self.fn = fn
+        self.edges = edges
+        self.self_name = (_self_param(fn.node)
+                          if fn.cls is not None else None)
+        self.builtin_locals: Set[str] = set()
+        self.local_types = self._seed_local_types()
+
+    # -- local type environment ---------------------------------------
+    def _seed_local_types(self) -> Dict[str, Set[str]]:
+        symtab, fn = self.symtab, self.fn
+        types: Dict[str, Set[str]] = dict(
+            symtab._param_types(fn.module, fn.node))
+        if self.self_name is not None and fn.cls is not None:
+            types[self.self_name] = {fn.cls}
+        # Two passes so `x = make(); y = x` chains settle.
+        for _ in range(2):
+            for node in self._own_nodes():
+                target = value = None
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target, value = node.targets[0], node.value
+                elif isinstance(node, ast.AnnAssign):
+                    target, value = node.target, node.value
+                    if isinstance(target, ast.Name):
+                        hinted = symtab.annotation_classes(
+                            fn.module, node.annotation)
+                        if hinted:
+                            types.setdefault(target.id, set()).update(hinted)
+                elif isinstance(node, (ast.For, ast.AsyncFor)):
+                    if isinstance(node.target, ast.Name):
+                        elems = symtab.expr_classes(
+                            fn.module, node.iter, types)
+                        if elems:
+                            types.setdefault(node.target.id,
+                                             set()).update(elems)
+                    continue
+                if isinstance(target, ast.Name) and value is not None:
+                    hit = symtab.expr_classes(fn.module, value, types)
+                    if hit:
+                        types.setdefault(target.id, set()).update(hit)
+                    elif self._is_builtin_container(value):
+                        self.builtin_locals.add(target.id)
+        return types
+
+    def _is_builtin_container(self, value: ast.AST) -> bool:
+        if isinstance(value, (ast.Dict, ast.List, ast.Set, ast.Tuple,
+                              ast.DictComp, ast.ListComp, ast.SetComp)):
+            return True
+        if isinstance(value, ast.Call):
+            imap = self.symtab.imports.get(self.fn.module)
+            resolved = imap.resolve_call(value.func) if imap else None
+            return (resolved in BUILTIN_CONTAINERS
+                    or resolved in SYNC_PRIMITIVES)
+        return False
+
+    def _own_nodes(self) -> Iterable[ast.AST]:
+        """Every node of this function, minus nested class bodies."""
+        if isinstance(self.fn.node, ast.Module):
+            body = [n for n in self.fn.node.body
+                    if not isinstance(n, (ast.FunctionDef,
+                                          ast.AsyncFunctionDef,
+                                          ast.ClassDef))]
+        else:
+            body = list(getattr(self.fn.node, "body", ()))
+        stack: List[ast.AST] = list(body)
+        while stack:
+            node = stack.pop()
+            yield node
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.ClassDef):
+                    continue
+                stack.append(child)
+
+    # -- edge emission -------------------------------------------------
+    def walk(self) -> None:
+        if isinstance(self.fn.node, ast.Module):
+            body = [n for n in self.fn.node.body
+                    if not isinstance(n, (ast.FunctionDef,
+                                          ast.AsyncFunctionDef,
+                                          ast.ClassDef))]
+            for stmt in body:
+                self._visit(stmt, under_lock=False)
+        else:
+            for stmt in getattr(self.fn.node, "body", ()):
+                self._visit(stmt, under_lock=False)
+
+    def _visit(self, node: ast.AST, under_lock: bool) -> None:
+        if isinstance(node, ast.ClassDef):
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            locked = under_lock
+            for item in node.items:
+                self._visit(item.context_expr, under_lock)
+                if lockish_expr(self.symtab, self.fn.module,
+                                item.context_expr):
+                    locked = True
+            for stmt in node.body:
+                self._visit(stmt, locked)
+            return
+        if isinstance(node, ast.Call):
+            self._emit_call(node, under_lock)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, under_lock)
+
+    def _add(self, callee: str, node: ast.AST, kind: str,
+             under_lock: bool) -> None:
+        self.edges.append(Edge(
+            caller=self.fn.qualname, callee=callee,
+            line=getattr(node, "lineno", self.fn.lineno),
+            kind=kind, under_lock=under_lock))
+
+    def _emit_call(self, call: ast.Call, under_lock: bool) -> None:
+        symtab, fn = self.symtab, self.fn
+        func = call.func
+        dotted = dotted_name(func)
+
+        # 1. plain dotted resolution through imports / module locals —
+        #    but never through a name a local variable shadows.
+        if dotted is not None:
+            head = dotted.split(".", 1)[0]
+            shadowed = head in self.local_types and head != self.self_name
+            if not shadowed:
+                qual = symtab.resolve(fn.module, dotted)
+                if qual is not None:
+                    self._add_resolved(qual, call, under_lock)
+                    return
+                imap = symtab.imports.get(fn.module)
+                external = (imap.resolve_imported(func)
+                            if imap is not None else None)
+                if external is not None:
+                    self._add(external, call, "external", under_lock)
+                    return
+
+        # 2. attribute call: type the receiver.
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+            receivers = symtab.expr_classes(fn.module, func.value,
+                                            self.local_types)
+            if receivers:
+                hit = False
+                for cls_qual in sorted(receivers):
+                    method = symtab.lookup_method(cls_qual, name)
+                    if method is not None:
+                        hit = True
+                        self._add(method, call, "direct", under_lock)
+                        for override in symtab.overrides(method):
+                            self._add(override, call, "widened", under_lock)
+                if hit:
+                    return
+            if self._builtin_receiver(func.value):
+                return          # stdlib container method: no dispatch
+            self._widen_by_name(name, call, under_lock)
+            return
+
+        # 3. bare-name call of a local (lambda, bound method, probe fn).
+        if isinstance(func, ast.Name):
+            alias_methods = self._alias_methods(func.id)
+            if alias_methods:
+                for method_name in sorted(alias_methods):
+                    self._widen_by_name(method_name, call, under_lock)
+                return
+            if func.id in _PURE_BUILTINS:
+                return          # len()/sorted()/... add nothing but bulk
+            self._add(f"{UNKNOWN_PREFIX}.{func.id}", call, "unknown",
+                      under_lock)
+            return
+
+        # 4. computed callee (subscript, call-returning-callable, ...).
+        self._add(f"{UNKNOWN_PREFIX}.<computed>", call, "unknown",
+                  under_lock)
+
+    def _add_resolved(self, qual: str, call: ast.Call,
+                      under_lock: bool) -> None:
+        symtab = self.symtab
+        if qual in symtab.classes:
+            ctor = symtab.lookup_method(qual, "__init__")
+            if ctor is not None:
+                self._add(ctor, call, "direct", under_lock)
+            return
+        fn = symtab.functions.get(qual)
+        if fn is not None:
+            self._add(qual, call, "direct", under_lock)
+            for override in symtab.overrides(qual):
+                self._add(override, call, "widened", under_lock)
+            return
+        if qual in symtab.modules:
+            return              # calling a module never happens; ignore
+        self._add(qual, call, "external", under_lock)
+
+    def _builtin_receiver(self, receiver: ast.AST) -> bool:
+        """Receiver provably a builtin container (local or self attr)."""
+        if isinstance(receiver, ast.Name):
+            return receiver.id in self.builtin_locals
+        if isinstance(receiver, ast.Attribute) \
+                and isinstance(receiver.value, ast.Name) \
+                and receiver.value.id == self.self_name \
+                and self.fn.cls is not None:
+            return self.symtab.is_builtin_attr(self.fn.cls, receiver.attr)
+        return False
+
+    def _alias_methods(self, name: str) -> Set[str]:
+        """Bound-method alias names a bare local call might dispatch to.
+
+        ``self._consume(...)`` arrives here only when ``_consume`` is a
+        *local*; for attributes the attribute path handles it — so look
+        at both the own class's attr_methods and nothing else.
+        """
+        if self.fn.cls is None:
+            return set()
+        cls = self.symtab.classes.get(self.fn.cls)
+        if cls is None:
+            return set()
+        return set(cls.attr_methods.get(name, ()))
+
+    def _widen_by_name(self, name: str, call: ast.Call,
+                       under_lock: bool) -> None:
+        # Bound-method alias attributes first: self._forward(...)
+        if self.fn.cls is not None:
+            cls = self.symtab.classes.get(self.fn.cls)
+            if cls is not None and name in cls.attr_methods:
+                for method_name in sorted(cls.attr_methods[name]):
+                    self._widen_methods(method_name, call, under_lock)
+                return
+        self._widen_methods(name, call, under_lock)
+
+    def _widen_methods(self, name: str, call: ast.Call,
+                       under_lock: bool) -> None:
+        candidates = self.symtab.methods_by_name.get(name, ())
+        if candidates and len(candidates) <= _MAX_WIDEN:
+            for method in candidates:
+                self._add(method.qualname, call, "widened", under_lock)
+        self._add(f"{UNKNOWN_PREFIX}.{name}", call, "unknown", under_lock)

@@ -97,6 +97,10 @@ class SourceFile:
     tree: ast.Module
     lines: List[str]
     suppressions: Dict[int, Set[str]]
+    #: Context files (``--changed-only`` loads the whole program for
+    #: the symbol table / call graph) are checked by no rule and can
+    #: own no finding; only target files report.
+    is_target: bool = True
 
     @classmethod
     def load(cls, path: Path) -> "SourceFile":
@@ -131,15 +135,40 @@ class SourceFile:
 
 @dataclass
 class Project:
-    """All files of one lint run, for cross-file (``finalize``) rules."""
+    """All files of one lint run, for cross-file (``finalize``) rules.
+
+    The whole-program views (:meth:`symbols`, :meth:`callgraph`) are
+    built lazily on first use and cached for the run, so per-file-only
+    invocations never pay for them.  Both cover *every* loaded file —
+    targets and context alike — which is what lets ``--changed-only``
+    keep interprocedural rules sound while reporting on a few files.
+    """
 
     files: List[SourceFile] = field(default_factory=list)
+    _symbols: Optional[object] = field(default=None, repr=False,
+                                       compare=False)
+    _callgraph: Optional[object] = field(default=None, repr=False,
+                                         compare=False)
 
     def by_module(self, dotted: str) -> Optional[SourceFile]:
         for f in self.files:
             if f.module == dotted:
                 return f
         return None
+
+    def symbols(self):
+        """The project-wide :class:`tools.flatlint.symbols.SymbolTable`."""
+        if self._symbols is None:
+            from .symbols import SymbolTable
+            self._symbols = SymbolTable(self.files)
+        return self._symbols
+
+    def callgraph(self):
+        """The whole-program :class:`tools.flatlint.callgraph.CallGraph`."""
+        if self._callgraph is None:
+            from .callgraph import CallGraph
+            self._callgraph = CallGraph(self.symbols())
+        return self._callgraph
 
 
 class Rule:
@@ -187,15 +216,25 @@ def lint_paths(
     paths: Sequence[str],
     rules: Sequence[Rule],
     select: Optional[Set[str]] = None,
+    context_paths: Optional[Sequence[str]] = None,
 ) -> tuple[List[Finding], Project]:
-    """Run *rules* over every file under *paths*; return sorted findings."""
+    """Run *rules* over every file under *paths*; return sorted findings.
+
+    *context_paths* files are loaded into the project (so cross-file
+    rules and the symbol table / call graph see the whole program) but
+    are not themselves checked and own no findings — the
+    ``--changed-only`` machinery.  A context file that fails to parse
+    is skipped silently; it would be reported when linted as a target.
+    """
     active = [
         r for r in rules
         if select is None or r.code.upper() in select
     ]
     project = Project()
     findings: List[Finding] = []
+    loaded: Set[Path] = set()
     for path in collect_files(paths):
+        loaded.add(path.resolve())
         try:
             f = SourceFile.load(path)
         except SyntaxError as exc:
@@ -212,10 +251,23 @@ def lint_paths(
             for finding in rule.check_file(f):
                 if not f.suppressed(finding.line, finding.code):
                     findings.append(finding)
+    if context_paths:
+        for path in collect_files(context_paths):
+            if path.resolve() in loaded:
+                continue
+            loaded.add(path.resolve())
+            try:
+                f = SourceFile.load(path)
+            except SyntaxError:
+                continue
+            f.is_target = False
+            project.files.append(f)
     for rule in active:
         for finding in rule.finalize(project):
             owner = next(
                 (f for f in project.files if f.display == finding.path), None)
+            if owner is not None and not owner.is_target:
+                continue
             if owner is not None and owner.suppressed(finding.line,
                                                       finding.code):
                 continue

@@ -27,6 +27,7 @@ def register(cls: Type[Rule]) -> Type[Rule]:
 
 def all_rules() -> List[Rule]:
     """Fresh instances of every registered rule, ordered by code."""
-    from . import bus, determinism, hygiene, layering, telemetry  # noqa: F401
+    from . import (bus, concurrency, determinism, hygiene,  # noqa: F401
+                   layering, taint, telemetry)
 
     return [_REGISTRY[code]() for code in sorted(_REGISTRY)]

@@ -1,0 +1,506 @@
+"""Project-wide symbol table for whole-program flatlint analyses.
+
+The per-file rules (FT001–FT005) only ever needed an import map; the
+interprocedural rules (FT006 concurrency-safety, FT007
+determinism-taint) need to answer *who is this call talking to* across
+file boundaries.  :class:`SymbolTable` indexes every module, class,
+method and function of one lint run and provides the resolution
+heuristics the call-graph builder (:mod:`tools.flatlint.callgraph`)
+leans on:
+
+* dotted-name resolution through imports, including one-hop re-exports
+  (``from repro import obs`` + ``obs.event`` lands on
+  ``repro.obs.trace.event`` because ``repro/obs/__init__.py`` re-exports
+  it);
+* **assigned-type inference** — ``self.engine = RemediationEngine()``
+  or an ``engine: Optional[RemediationEngine]`` parameter stored on
+  ``self`` types the attribute, so ``self.engine.poll(...)`` resolves
+  to a concrete method;
+* **bound-method aliases** — ``self._forward = inner.emit`` records the
+  *method name*, so calling ``self._forward(...)`` widens to every
+  project method called ``emit`` instead of silently dropping the edge;
+* synchronization-primitive tagging (``self._lock = threading.Lock()``)
+  so FT006 can tell a lock attribute from shared state.
+
+Everything here is a heuristic over the AST, not a type checker: the
+contract is *resolve what the repo's idioms make resolvable, widen the
+rest* — an unresolved callee must never make an analysis silently
+optimistic (see the FT007 unknown-callee tests).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .astutil import ImportMap, dotted_name
+
+__all__ = ["FunctionInfo", "ClassInfo", "SymbolTable", "SYNC_PRIMITIVES",
+           "BUILTIN_CONTAINERS"]
+
+#: ``threading`` primitives that are synchronization tools, not shared
+#: state: FT006 must not flag ``Event.set()`` races the stdlib already
+#: guards.
+SYNC_PRIMITIVES = (
+    "threading.Lock",
+    "threading.RLock",
+    "threading.Event",
+    "threading.Condition",
+    "threading.Semaphore",
+    "threading.BoundedSemaphore",
+    "threading.Barrier",
+)
+
+#: Resolution recursion bound (re-export chains, base-class walks).
+_MAX_DEPTH = 8
+
+#: Builtin/stdlib container constructors.  A receiver known to hold one
+#: of these dispatches into the stdlib, never into the project, so the
+#: call-graph builder skips name-widening for it — otherwise every
+#: ``seen.add(x)`` on a local ``set()`` would grow a widened edge to
+#: every project method called ``add``.
+BUILTIN_CONTAINERS = frozenset({
+    "set", "dict", "list", "frozenset", "tuple", "bytearray",
+    "dict.fromkeys",
+    "collections.deque", "collections.defaultdict",
+    "collections.OrderedDict", "collections.Counter",
+})
+
+
+@dataclass
+class FunctionInfo:
+    """One function, method, or module body in the project."""
+
+    qualname: str                 # module.Class.method / module.func
+    module: str
+    name: str
+    cls: Optional[str]            # owning class qualname (None for funcs)
+    node: ast.AST                 # FunctionDef / AsyncFunctionDef / Module
+    path: str                     # display path of the defining file
+    lineno: int
+    #: Project classes the return annotation names (``-> HealthAggregator``).
+    returns: Set[str] = field(default_factory=set)
+
+    @property
+    def is_module_body(self) -> bool:
+        return isinstance(self.node, ast.Module)
+
+
+@dataclass
+class ClassInfo:
+    """One class: methods, bases, and inferred attribute types."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    path: str
+    lineno: int
+    #: Resolved base names — project class qualnames where resolvable,
+    #: otherwise the import-resolved dotted name (``threading.Thread``).
+    bases: List[str] = field(default_factory=list)
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: attr -> candidate project-class qualnames (assigned-type heuristic).
+    attr_types: Dict[str, Set[str]] = field(default_factory=dict)
+    #: attr -> method *names* it aliases (``self._forward = inner.emit``).
+    attr_methods: Dict[str, Set[str]] = field(default_factory=dict)
+    #: attr -> the ``threading`` primitive it holds (``threading.Lock``).
+    attr_sync: Dict[str, str] = field(default_factory=dict)
+    #: attrs assigned a builtin container (``self._counts = {}``) —
+    #: method calls on them stay in the stdlib, so no name-widening.
+    attr_builtin: Set[str] = field(default_factory=set)
+
+
+class SymbolTable:
+    """Modules, classes, functions and inferred types of one lint run."""
+
+    def __init__(self, files: Sequence[object]) -> None:
+        #: module name -> SourceFile (anything with .module/.tree/.display)
+        self.modules: Dict[str, object] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.imports: Dict[str, ImportMap] = {}
+        #: module -> module-level var -> candidate project classes
+        #: (``_state = _State()`` in repro.obs.trace).
+        self.module_attr_types: Dict[str, Dict[str, Set[str]]] = {}
+        #: method name -> every project method with that name (widening).
+        self.methods_by_name: Dict[str, List[FunctionInfo]] = {}
+        #: class qualname -> direct project subclasses.
+        self.subclasses: Dict[str, List[str]] = {}
+
+        for f in files:
+            self._collect_declarations(f)
+        for cls in self.classes.values():
+            self._resolve_bases(cls)
+        for cls in self.classes.values():
+            self._infer_class_attrs(cls)
+        for f in files:
+            self._infer_module_vars(f)
+        for fn in self.functions.values():
+            if isinstance(fn.node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn.returns = self.annotation_classes(fn.module,
+                                                     fn.node.returns)
+
+    # ------------------------------------------------------------------
+    # pass 1: declarations
+    # ------------------------------------------------------------------
+    def _collect_declarations(self, f: object) -> None:
+        module: str = f.module          # type: ignore[attr-defined]
+        tree: ast.Module = f.tree       # type: ignore[attr-defined]
+        path: str = f.display           # type: ignore[attr-defined]
+        self.modules[module] = f
+        self.imports[module] = ImportMap.of(tree)
+        # Module body is a pseudo-function so import-time calls get a
+        # caller node in the graph.
+        self.functions[module] = FunctionInfo(
+            qualname=module, module=module, name="<module>", cls=None,
+            node=tree, path=path, lineno=1)
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{module}.{node.name}"
+                self.functions[qual] = FunctionInfo(
+                    qualname=qual, module=module, name=node.name, cls=None,
+                    node=node, path=path, lineno=node.lineno)
+            elif isinstance(node, ast.ClassDef):
+                cls_qual = f"{module}.{node.name}"
+                info = ClassInfo(
+                    qualname=cls_qual, module=module, name=node.name,
+                    node=node, path=path, lineno=node.lineno)
+                self.classes[cls_qual] = info
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                        mq = f"{cls_qual}.{item.name}"
+                        method = FunctionInfo(
+                            qualname=mq, module=module, name=item.name,
+                            cls=cls_qual, node=item, path=path,
+                            lineno=item.lineno)
+                        self.functions[mq] = method
+                        info.methods[item.name] = method
+                        self.methods_by_name.setdefault(
+                            item.name, []).append(method)
+
+    # ------------------------------------------------------------------
+    # pass 2: bases, attribute types
+    # ------------------------------------------------------------------
+    def _resolve_bases(self, cls: ClassInfo) -> None:
+        imap = self.imports[cls.module]
+        for base in cls.node.bases:
+            raw = dotted_name(base)
+            if raw is None:
+                continue
+            project = self.resolve(cls.module, raw)
+            if project is not None and project in self.classes:
+                cls.bases.append(project)
+                self.subclasses.setdefault(project, []).append(cls.qualname)
+            else:
+                cls.bases.append(imap.resolve_call(base) or raw)
+
+    def _infer_class_attrs(self, cls: ClassInfo) -> None:
+        for method in cls.methods.values():
+            node = method.node
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            self_name = _self_param(node)
+            if self_name is None:
+                continue
+            param_types = self._param_types(cls.module, node)
+            for stmt in ast.walk(node):
+                target = value = annotation = None
+                if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                    target, value = stmt.targets[0], stmt.value
+                elif isinstance(stmt, ast.AnnAssign):
+                    target, value = stmt.target, stmt.value
+                    annotation = stmt.annotation
+                if not (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == self_name):
+                    continue
+                attr = target.attr
+                if annotation is not None:
+                    hinted = self.annotation_classes(cls.module, annotation)
+                    if hinted:
+                        cls.attr_types.setdefault(attr, set()).update(hinted)
+                self._record_attr_value(cls, attr, value, param_types)
+
+    def _record_attr_value(self, cls: ClassInfo, attr: str,
+                           value: Optional[ast.AST],
+                           param_types: Dict[str, Set[str]]) -> None:
+        if value is None:
+            return
+        imap = self.imports[cls.module]
+        if isinstance(value, (ast.Dict, ast.List, ast.Set, ast.Tuple,
+                              ast.DictComp, ast.ListComp, ast.SetComp)):
+            cls.attr_builtin.add(attr)
+            return
+        if isinstance(value, ast.Call):
+            external = imap.resolve_call(value.func)
+            if external in SYNC_PRIMITIVES:
+                cls.attr_sync[attr] = external
+                return
+            if external in BUILTIN_CONTAINERS:
+                cls.attr_builtin.add(attr)
+                return
+            hit = self.expr_classes(cls.module, value, param_types)
+            if hit:
+                cls.attr_types.setdefault(attr, set()).update(hit)
+        elif isinstance(value, ast.Attribute):
+            # self._forward = inner.emit — a bound-method alias.
+            cls.attr_methods.setdefault(attr, set()).add(value.attr)
+        else:
+            hit = self.expr_classes(cls.module, value, param_types)
+            if hit:
+                cls.attr_types.setdefault(attr, set()).update(hit)
+
+    def _param_types(self, module: str,
+                     node: ast.AST) -> Dict[str, Set[str]]:
+        """Parameter name -> project classes its annotation names."""
+        out: Dict[str, Set[str]] = {}
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return out
+        args = node.args
+        for arg in (list(args.posonlyargs) + list(args.args)
+                    + list(args.kwonlyargs)):
+            hinted = self.annotation_classes(module, arg.annotation)
+            if hinted:
+                out[arg.arg] = hinted
+        return out
+
+    def _infer_module_vars(self, f: object) -> None:
+        module: str = f.module          # type: ignore[attr-defined]
+        tree: ast.Module = f.tree       # type: ignore[attr-defined]
+        types: Dict[str, Set[str]] = {}
+        for node in tree.body:
+            target = value = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign):
+                target, value = node.target, node.value
+            if not isinstance(target, ast.Name) or value is None:
+                continue
+            hit = self.expr_classes(module, value, {})
+            if hit:
+                types.setdefault(target.id, set()).update(hit)
+        if types:
+            self.module_attr_types[module] = types
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+    def resolve(self, module: str, dotted: Optional[str],
+                _depth: int = 0) -> Optional[str]:
+        """Project qualname a dotted local name refers to, or None.
+
+        Follows imports (including aliased ones) and one-hop
+        re-exports; descends into a class for ``Class.method`` chains.
+        Returns a module, class, function or method qualname.
+        """
+        if not dotted or _depth > _MAX_DEPTH or module not in self.modules:
+            return None
+        head, _, rest = dotted.partition(".")
+        local = f"{module}.{head}"
+        if local in self.classes:
+            return self._class_member(local, rest) if rest else local
+        if local in self.functions and not rest:
+            return local
+        imap = self.imports.get(module)
+        if imap is None:
+            return None
+        if head in imap.modules:
+            target = imap.modules[head]
+            if not rest:
+                return target if target in self.modules else None
+            return self.resolve(target, rest, _depth + 1)
+        if head in imap.members:
+            mod, orig = imap.members[head]
+            reexport = f"{mod}.{orig}"
+            if reexport in self.modules:
+                if not rest:
+                    return reexport
+                return self.resolve(reexport, rest, _depth + 1)
+            combined = orig + (f".{rest}" if rest else "")
+            return self.resolve(mod, combined, _depth + 1)
+        return None
+
+    def _class_member(self, cls_qual: str, rest: str) -> Optional[str]:
+        name = rest.split(".", 1)[0]
+        return self.lookup_method(cls_qual, name)
+
+    def lookup_method(self, cls_qual: str, name: str,
+                      _depth: int = 0) -> Optional[str]:
+        """Method qualname on the class or its project bases (MRO-lite)."""
+        if _depth > _MAX_DEPTH:
+            return None
+        cls = self.classes.get(cls_qual)
+        if cls is None:
+            return None
+        method = cls.methods.get(name)
+        if method is not None:
+            return method.qualname
+        for base in cls.bases:
+            hit = self.lookup_method(base, name, _depth + 1)
+            if hit is not None:
+                return hit
+        return None
+
+    def overrides(self, method_qual: str) -> List[str]:
+        """Same-name overrides of a method in project subclasses."""
+        fn = self.functions.get(method_qual)
+        if fn is None or fn.cls is None:
+            return []
+        out: List[str] = []
+        stack = list(self.subclasses.get(fn.cls, ()))
+        seen: Set[str] = set()
+        while stack:
+            sub = stack.pop()
+            if sub in seen:
+                continue
+            seen.add(sub)
+            info = self.classes.get(sub)
+            if info is None:
+                continue
+            own = info.methods.get(fn.name)
+            if own is not None:
+                out.append(own.qualname)
+            stack.extend(self.subclasses.get(sub, ()))
+        return out
+
+    def has_external_base(self, cls_qual: str, external: str,
+                          _depth: int = 0) -> bool:
+        """Does the class inherit (transitively) from e.g. threading.Thread?"""
+        if _depth > _MAX_DEPTH:
+            return False
+        cls = self.classes.get(cls_qual)
+        if cls is None:
+            return False
+        for base in cls.bases:
+            if base == external:
+                return True
+            if self.has_external_base(base, external, _depth + 1):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # type heuristics
+    # ------------------------------------------------------------------
+    def annotation_classes(self, module: str,
+                           node: Optional[ast.AST],
+                           _depth: int = 0) -> Set[str]:
+        """Project classes an annotation expression names.
+
+        Unwraps ``Optional[X]`` / ``Union`` / ``X | None`` / container
+        generics and string annotations; the result is the *union* of
+        every project class mentioned, which collapses
+        ``Sequence["SloTracker"]`` to ``{SloTracker}`` — exactly what
+        for-loop element typing wants.
+        """
+        if node is None or _depth > _MAX_DEPTH:
+            return set()
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            try:
+                node = ast.parse(node.value, mode="eval").body
+            except SyntaxError:
+                return set()
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            qual = self.resolve(module, dotted_name(node))
+            return {qual} if qual in self.classes else set()
+        if isinstance(node, ast.Subscript):
+            elts = (node.slice.elts if isinstance(node.slice, ast.Tuple)
+                    else [node.slice])
+            out: Set[str] = set()
+            for elt in elts:
+                out |= self.annotation_classes(module, elt, _depth + 1)
+            return out
+        if isinstance(node, ast.BinOp):        # X | None
+            return (self.annotation_classes(module, node.left, _depth + 1)
+                    | self.annotation_classes(module, node.right,
+                                              _depth + 1))
+        return set()
+
+    def expr_classes(self, module: str, node: Optional[ast.AST],
+                     local_types: Dict[str, Set[str]],
+                     _depth: int = 0) -> Set[str]:
+        """Candidate project classes of an expression's value."""
+        if node is None or _depth > _MAX_DEPTH:
+            return set()
+        if isinstance(node, ast.Call):
+            qual = self.resolve(module, dotted_name(node.func))
+            if qual in self.classes:
+                return {qual}
+            fn = self.functions.get(qual) if qual else None
+            if fn is not None:
+                return set(fn.returns)
+            return set()
+        if isinstance(node, ast.Name):
+            return set(local_types.get(node.id, ())) \
+                | set(self.module_attr_types.get(module, {})
+                      .get(node.id, ()))
+        if isinstance(node, ast.Attribute):
+            out: Set[str] = set()
+            for base in self.expr_classes(module, node.value, local_types,
+                                          _depth + 1):
+                out |= self.attr_classes(base, node.attr)
+            return out
+        if isinstance(node, ast.BoolOp):       # x or Fallback()
+            out = set()
+            for value in node.values:
+                out |= self.expr_classes(module, value, local_types,
+                                         _depth + 1)
+            return out
+        if isinstance(node, ast.IfExp):
+            return (self.expr_classes(module, node.body, local_types,
+                                      _depth + 1)
+                    | self.expr_classes(module, node.orelse, local_types,
+                                        _depth + 1))
+        if isinstance(node, ast.Await):
+            return self.expr_classes(module, node.value, local_types,
+                                     _depth + 1)
+        return set()
+
+    def is_builtin_attr(self, cls_qual: str, attr: str,
+                        _depth: int = 0) -> bool:
+        """Is ``<cls>.attr`` stdlib-typed (container or sync primitive)?
+
+        Such receivers dispatch into the stdlib, never the project, so
+        the call-graph builder must not name-widen them —
+        ``self._stop.set()`` on a ``threading.Event`` is not a
+        candidate call to every project method named ``set``.
+        """
+        if _depth > _MAX_DEPTH:
+            return False
+        cls = self.classes.get(cls_qual)
+        if cls is None:
+            return False
+        if attr in cls.attr_builtin or attr in cls.attr_sync:
+            return True
+        return any(self.is_builtin_attr(base, attr, _depth + 1)
+                   for base in cls.bases)
+
+    def attr_classes(self, cls_qual: str, attr: str,
+                     _depth: int = 0) -> Set[str]:
+        """Inferred types of ``<cls>.attr``, searching project bases."""
+        if _depth > _MAX_DEPTH:
+            return set()
+        cls = self.classes.get(cls_qual)
+        if cls is None:
+            return set()
+        hit = cls.attr_types.get(attr)
+        if hit:
+            return set(hit)
+        out: Set[str] = set()
+        for base in cls.bases:
+            out |= self.attr_classes(base, attr, _depth + 1)
+        return out
+
+
+def _self_param(node: ast.AST) -> Optional[str]:
+    """The instance-parameter name of a method (None for staticmethods)."""
+    if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return None
+    for deco in node.decorator_list:
+        if isinstance(deco, ast.Name) and deco.id in ("staticmethod",
+                                                      "classmethod"):
+            return None
+    params = list(node.args.posonlyargs) + list(node.args.args)
+    return params[0].arg if params else None

@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-session bench-smoke bench-compare figures examples lint lint-fast clean telemetry-smoke monitor-smoke chaos-smoke health-smoke hotspots-smoke heal-smoke
+.PHONY: install test bench bench-session bench-smoke bench-compare trend-smoke figures examples lint lint-fast clean telemetry-smoke monitor-smoke chaos-smoke health-smoke hotspots-smoke heal-smoke
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -28,16 +28,28 @@ bench-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.cli bench --select "fig5 or ksp" --out BENCH_smoke.json --label smoke
 	$(PYTHON) -m tools.perfreport compare BENCH_smoke.json BENCH_smoke.json
 
-# Judge the newest BENCH_<seq>.json against its predecessor (the
-# comparator auto-selects the two newest numbered sessions and exits 0
-# with a notice when fewer than two exist); override either side with
-# BASE=... NEW=... (exit 1 on regression).
+# Trajectory-aware regression gate: the default judges the newest
+# point of every bench/hotspot metric against a MAD noise band fitted
+# to the whole recorded BENCH_*/HOTSPOTS_* trajectory (exit 1 only
+# when a metric steps outside its band — a regression must beat the
+# noise, not just the 25% pairwise tolerance).  Override with
+# BASE=... NEW=... to fall back to the pairwise two-session compare.
 bench-compare:
 	@if [ -n "$$BASE" ] || [ -n "$$NEW" ]; then \
 		$(PYTHON) -m tools.perfreport compare "$$BASE" "$$NEW"; \
 	else \
-		$(PYTHON) -m tools.perfreport compare; \
+		$(PYTHON) -m tools.perfreport trend; \
 	fi
+
+# Differential-analysis smoke for CI: attribute the delta between the
+# two newest recorded bench sessions (exit 1 = attributed regression is
+# fine here — the gate is `trend` below), then run the trajectory
+# engine over the full recorded history and leave TREND_REPORT.json
+# behind for the CI artifact upload; `make clean` removes it.
+trend-smoke:
+	$(PYTHON) -m tools.perfreport diff || [ $$? -eq 1 ]
+	$(PYTHON) -m tools.perfreport trend --out TREND_REPORT.json
+	test -s TREND_REPORT.json
 
 # Static analysis: the domain-aware flatlint pass (FT001-FT007, incl.
 # the whole-program concurrency-safety and determinism-taint analyses;
@@ -144,7 +156,7 @@ examples:
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis
-	rm -f BENCH_smoke.json telemetry-smoke.jsonl
+	rm -f BENCH_smoke.json telemetry-smoke.jsonl TREND_REPORT.json
 	rm -f HEALTH_REPORT.json HEALTH_REPORT.prom health-smoke*.jsonl health-smoke-*.json
 	rm -f HOTSPOTS_smoke.json hotspots-smoke.folded
 	rm -f HEAL_LEDGER.json heal-smoke*.jsonl heal-smoke-b.json

@@ -1,0 +1,117 @@
+"""Tooling bench: the differential plane stays inner-loop fast.
+
+The diff and trend engines run on every ``make bench-compare`` /
+``make trend-smoke``, so they must stay cheap even on inputs far
+larger than the repo currently records: a span-tree diff over two
+synthetic ~10k-node profiles plus a trajectory analysis over dozens
+of synthetic sessions x hundreds of metrics must finish inside
+:data:`BUDGET_S`.  The budget is deliberately loose so only an
+algorithmic blow-up (quadratic alignment, per-point window rescans
+going superlinear) can trip it, not CI jitter.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import show
+
+from repro.experiments.common import ExperimentResult
+from repro.obs import diffprof, trend
+from repro.obs.perf import Profile
+
+#: Hard runtime ceiling for both engines together, in seconds.
+BUDGET_S = 10.0
+
+#: Span-tree fan-out: ROOTS x CHILDREN x LEAVES nodes per profile.
+ROOTS, CHILDREN, LEAVES = 10, 33, 30
+
+#: Trajectory size: sessions x metrics series points.
+SESSIONS, METRICS = 48, 300
+
+
+def synthetic_profile(scale: float) -> Profile:
+    events = []
+    span_id = 0
+    for r in range(ROOTS):
+        span_id += 1
+        root_id = span_id
+        root_path = f"root{r}"
+        for c in range(CHILDREN):
+            span_id += 1
+            child_id = span_id
+            child_path = f"{root_path}/phase{c}"
+            for leaf in range(LEAVES):
+                span_id += 1
+                events.append({
+                    "ts": 1.0, "kind": "span", "name": f"leaf{leaf}",
+                    "path": f"{child_path}/leaf{leaf}", "depth": 2,
+                    "span_id": span_id, "parent_id": child_id,
+                    "duration_s": 0.001 * scale * (leaf + 1),
+                })
+            events.append({
+                "ts": 1.0, "kind": "span", "name": f"phase{c}",
+                "path": child_path, "depth": 1, "span_id": child_id,
+                "parent_id": root_id,
+                "duration_s": 0.001 * scale * LEAVES * (LEAVES + 1) / 2,
+            })
+        events.append({
+            "ts": 1.0, "kind": "span", "name": f"root{r}",
+            "path": root_path, "depth": 0, "span_id": root_id,
+            "parent_id": None, "duration_s": 10.0 * scale,
+        })
+    return Profile.from_events(events)
+
+
+def synthetic_trajectory() -> dict:
+    series = {}
+    for m in range(METRICS):
+        base = 0.1 + (m % 17) * 0.05
+        series[f"bench:mod{m % 9}.py::bench{m}"] = [
+            trend.SeriesPoint(
+                seq=s + 1, label=f"BENCH_{s + 1}.json",
+                value=base * (1.0 + 0.05 * ((s * 7 + m) % 5 - 2)))
+            for s in range(SESSIONS)
+        ]
+    return series
+
+
+def run_differential_plane() -> ExperimentResult:
+    begin = time.perf_counter()
+    base = synthetic_profile(1.0)
+    new = synthetic_profile(1.3)
+    diff = diffprof.diff_profiles(base, new)
+    folded = diffprof.subtract_folded(
+        diffprof.parse_folded(base.folded()),
+        diffprof.parse_folded(new.folded()))
+    diff_wall = time.perf_counter() - begin
+
+    begin = time.perf_counter()
+    trajectory = synthetic_trajectory()
+    trends = [trend.analyze_series(metric, points)
+              for metric, points in sorted(trajectory.items())]
+    trend_wall = time.perf_counter() - begin
+
+    result = ExperimentResult(
+        experiment="tooling: differential perf plane runtime",
+        x_label="aligned paths / metric series",
+        y_label="wall-clock (s)",
+    )
+    result.new_series("span-tree diff").add(len(diff.deltas), diff_wall)
+    result.new_series("trend engine").add(len(trends), trend_wall)
+    result.notes.append(
+        f"diff: {len(diff.deltas)} paths, {len(folded)} folded stacks "
+        f"in {diff_wall:.2f}s; trend: {len(trends)} metrics x "
+        f"{SESSIONS} sessions in {trend_wall:.2f}s "
+        f"(budget {BUDGET_S:.0f}s combined)")
+    return result
+
+
+def test_bench_diffprof_runtime(once):
+    result = once(run_differential_plane)
+    show(result)
+    (paths, diff_wall), = result.get("span-tree diff").points.items()
+    (metrics, trend_wall), = result.get("trend engine").points.items()
+    assert paths > 10_000  # the diff really aligned both big trees
+    assert metrics == METRICS
+    assert diff_wall + trend_wall <= BUDGET_S

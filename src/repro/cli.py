@@ -351,6 +351,23 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="flow count for the flowsim FCT stage")
     p.set_defaults(handler=_hotspots_handler)
 
+    p = sub.add_parser("trend",
+                       help="trajectory-aware regression analytics over "
+                            "the recorded BENCH_*/HOTSPOTS_* sessions")
+    p.add_argument("--root", default=None, metavar="DIR",
+                   help="directory scanned for numbered sessions "
+                        "(default: the repo root)")
+    p.add_argument("--window", type=int, default=None,
+                   help="trailing sessions the noise model is fitted to "
+                        "(default 8)")
+    p.add_argument("--sigmas", type=float, default=None,
+                   help="band half-width in robust MAD sigmas (default 4)")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="also write the JSON report here")
+    p.add_argument("--json", action="store_true",
+                   help="print the report as JSON instead of text")
+    p.set_defaults(handler=_trend_handler)
+
     p = sub.add_parser("info",
                        help="package version, dependencies, telemetry sinks")
     p.set_defaults(handler=_info_handler)
@@ -495,6 +512,38 @@ def _hotspots_handler(args) -> int:
     print("inspect with: python -m tools.perfreport hotspots "
           f"{out.name} (see docs/performance.md)")
     return 0
+
+
+def _trend_handler(args) -> int:
+    """Judge the recorded perf trajectory against its own noise model.
+
+    Exit codes follow the comparator convention: 0 = the newest
+    sessions sit inside their MAD noise bands, 1 = at least one metric
+    stepped up (regression).
+    """
+    import json
+    from pathlib import Path
+
+    from repro.obs import bench as bench_sessions
+    from repro.obs import trend as trend_engine
+
+    root = Path(args.root) if args.root else bench_sessions.repo_root()
+    kwargs = {}
+    if args.window is not None:
+        kwargs["window"] = args.window
+    if args.sigmas is not None:
+        kwargs["sigmas"] = args.sigmas
+    report = trend_engine.analyze_trajectory(root, **kwargs)
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(trend_engine.render_json(report), indent=1,
+                       sort_keys=True) + "\n", encoding="utf-8")
+        print(f"trend: wrote {args.out}")
+    print(json.dumps(trend_engine.render_json(report), indent=1,
+                     sort_keys=True)
+          if args.json else trend_engine.render_text(report))
+    trend_engine.emit_trend_event(report)
+    return report.exit_code
 
 
 def _health_handler(args) -> int:
@@ -724,7 +773,10 @@ def _info_handler(args) -> int:
         "perf: span-tree profiler + folded-stack export "
         "(python -m tools.perfreport profile/flamegraph), "
         f"bench trajectory {len(sessions)} BENCH_*.json session(s) "
-        "(flattree bench, docs/performance.md)"
+        "(flattree bench, docs/performance.md), differential analysis "
+        "(perfreport diff: span-tree/hotspot/bench deltas + "
+        "differential flamegraphs), trajectory trend gate with MAD "
+        "noise bands (flattree trend, perfreport trend)"
     )
     print(
         "hotspots: sampling profiler + progress heartbeats, "

@@ -67,6 +67,8 @@ EVENT_FIELDS: Mapping[str, FrozenSet[str]] = {
     "core.scaling.candidate_skipped": frozenset({"candidate", "reason"}),
     "perf.bench_session": frozenset({"out", "benches"}),
     "perf.hotspot_session": frozenset({"out", "functions", "samples"}),
+    "perf.diff_session": frozenset({"base", "new", "grown", "shrunk"}),
+    "perf.trend_session": frozenset({"sessions", "metrics", "steps"}),
     "sampler.start": frozenset({"hz"}),
     "sampler.stop": frozenset({"samples", "elapsed_s"}),
     "sampler.flush": frozenset({"samples"}),
@@ -202,6 +204,21 @@ def _check_hotspot_session(event: Mapping[str, Any],
     _check_named(event, problems, "hotspot_session", "out")
     _check_counted(event, problems, "hotspot_session", "functions")
     _check_counted(event, problems, "hotspot_session", "samples")
+
+
+def _check_diff_session(event: Mapping[str, Any],
+                        problems: List[str]) -> None:
+    _check_named(event, problems, "diff_session", "base")
+    _check_named(event, problems, "diff_session", "new")
+    _check_counted(event, problems, "diff_session", "grown")
+    _check_counted(event, problems, "diff_session", "shrunk")
+
+
+def _check_trend_session(event: Mapping[str, Any],
+                         problems: List[str]) -> None:
+    _check_counted(event, problems, "trend_session", "sessions")
+    _check_counted(event, problems, "trend_session", "metrics")
+    _check_counted(event, problems, "trend_session", "steps")
 
 
 def _check_sampler_start(event: Mapping[str, Any],
@@ -341,6 +358,8 @@ EVENT_CHECKS: Mapping[str, Callable[[Mapping[str, Any], List[str]], None]] = {
     "core.scaling.candidate_skipped": _check_candidate_skipped,
     "perf.bench_session": _check_bench_session,
     "perf.hotspot_session": _check_hotspot_session,
+    "perf.diff_session": _check_diff_session,
+    "perf.trend_session": _check_trend_session,
     "sampler.start": _check_sampler_start,
     "sampler.stop": _check_sampler_stop,
     "sampler.flush": _check_sampler_flush,

@@ -190,6 +190,44 @@ class TestBenchSessionEvent:
         assert any("'benches'" in p for p in problems)
 
 
+class TestDiffTrendEvents:
+    def test_registered_with_required_fields(self):
+        assert contract.EVENT_FIELDS["perf.diff_session"] == frozenset(
+            {"base", "new", "grown", "shrunk"})
+        assert contract.EVENT_FIELDS["perf.trend_session"] == frozenset(
+            {"sessions", "metrics", "steps"})
+        assert "perf.diff_session" in contract.EVENT_CHECKS
+        assert "perf.trend_session" in contract.EVENT_CHECKS
+
+    def test_valid_diff_session(self):
+        assert contract.check_event(
+            event("perf.diff_session", base="BENCH_1.json",
+                  new="BENCH_2.json", grown=2, shrunk=0)) == []
+
+    def test_diff_session_blank_labels_rejected(self):
+        problems = contract.check_event(
+            event("perf.diff_session", base=" ", new="BENCH_2.json",
+                  grown=0, shrunk=0))
+        assert any("'base'" in p for p in problems)
+
+    def test_diff_session_negative_counts_rejected(self):
+        problems = contract.check_event(
+            event("perf.diff_session", base="a", new="b",
+                  grown=-1, shrunk=0))
+        assert any("'grown'" in p for p in problems)
+
+    def test_valid_trend_session(self):
+        assert contract.check_event(
+            event("perf.trend_session", sessions=4, metrics=20,
+                  steps=1)) == []
+
+    def test_trend_session_non_integer_rejected(self):
+        problems = contract.check_event(
+            event("perf.trend_session", sessions=4, metrics="many",
+                  steps=0))
+        assert any("'metrics'" in p for p in problems)
+
+
 class TestHealthEvents:
     def test_registered_with_required_fields(self):
         assert contract.EVENT_FIELDS["health.alert_firing"] == frozenset(

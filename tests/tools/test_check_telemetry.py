@@ -123,6 +123,16 @@ GOOD_HOTSPOT_SESSION = {
     "out": "HOTSPOTS_1.json", "functions": 40, "samples": 1234,
 }
 
+GOOD_DIFF_SESSION = {
+    "ts": 10.0, "name": "perf.diff_session", "kind": "event", "value": 1,
+    "base": "BENCH_3.json", "new": "BENCH_4.json", "grown": 1, "shrunk": 2,
+}
+
+GOOD_TREND_SESSION = {
+    "ts": 11.0, "name": "perf.trend_session", "kind": "event", "value": 1,
+    "sessions": 4, "metrics": 20, "steps": 1,
+}
+
 
 def test_sampler_and_progress_stream_passes(tmp_path, capsys):
     events = GOOD_SAMPLER_STREAM + [GOOD_HEARTBEAT, GOOD_HOTSPOT_SESSION]
@@ -167,6 +177,28 @@ def test_hotspot_session_requires_out(tmp_path, capsys):
     path = write_events(tmp_path, [bad])
     assert check_telemetry.main([path]) == 1
     assert "'out'" in capsys.readouterr().err
+
+
+def test_diff_and_trend_sessions_pass(tmp_path, capsys):
+    path = write_events(tmp_path, [GOOD_DIFF_SESSION, GOOD_TREND_SESSION])
+    assert check_telemetry.main([path]) == 0
+    assert "2 events" in capsys.readouterr().out
+
+
+def test_diff_session_requires_labels_and_counts(tmp_path, capsys):
+    for missing in ("base", "new", "grown", "shrunk"):
+        bad = dict(GOOD_DIFF_SESSION)
+        del bad[missing]
+        path = write_events(tmp_path, [bad])
+        assert check_telemetry.main([path]) == 1, missing
+        assert f"'{missing}'" in capsys.readouterr().err
+
+
+def test_trend_session_rejects_negative_counts(tmp_path, capsys):
+    bad = dict(GOOD_TREND_SESSION, steps=-2)
+    path = write_events(tmp_path, [bad])
+    assert check_telemetry.main([path]) == 1
+    assert "'steps'" in capsys.readouterr().err
 
 
 GOOD_SELFHEAL_ACTION = {

@@ -600,6 +600,39 @@ class TestFT007DeterminismTaint:
             """)
         assert findings == []
 
+    # The diff/trend report writers are replay-critical sinks like the
+    # BENCH_*/HOTSPOTS_* writers: their reports must be byte-identical
+    # across replays, so a wall clock flowing in must fire.
+    DIFF_TAINTED = """\
+        import time
+
+
+        def render_report(stamp):
+            return {"ts": stamp}
+
+
+        def publish():
+            return render_report(time.time())
+        """
+
+    def test_wall_clock_reaching_the_diff_writer_fires(self, tmp_path):
+        findings = lint_snippet(tmp_path, "src/repro/obs/diffprof.py",
+                                self.DIFF_TAINTED)
+        assert codes(findings) == ["FT007"]
+        assert "time.time()" in findings[0].message
+
+    def test_wall_clock_reaching_the_trend_writer_fires(self, tmp_path):
+        findings = lint_snippet(tmp_path, "src/repro/obs/trend.py",
+                                self.DIFF_TAINTED)
+        assert codes(findings) == ["FT007"]
+
+    def test_clean_diff_writer_is_clean(self, tmp_path):
+        findings = lint_snippet(tmp_path, "src/repro/obs/diffprof.py", """\
+            def render_report(deltas):
+                return {"deltas": sorted(deltas)}
+            """)
+        assert findings == []
+
 
 class TestSuppressionsAndParseErrors:
     def test_inline_suppression_silences_only_that_code(self, tmp_path):

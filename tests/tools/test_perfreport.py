@@ -326,3 +326,152 @@ class TestHotspotsCli:
         bad.write_text('{"schema": "nope"}\n', encoding="utf-8")
         assert main(["hotspots", str(bad)]) == 2
         assert "perfreport:" in capsys.readouterr().err
+
+
+class TestAutoSelectNotices:
+    def test_single_session_message_names_the_session(self, tmp_path,
+                                                      capsys):
+        write_session(tmp_path, "BENCH_7.json",
+                      make_session({"a.py::t": 0.5}))
+        assert main(["compare", "--root", str(tmp_path)]) == 0
+        assert "existing: BENCH_7.json" in capsys.readouterr().out
+
+    def test_empty_root_message_says_none(self, tmp_path, capsys):
+        assert main(["compare", "--root", str(tmp_path)]) == 0
+        assert "existing: none" in capsys.readouterr().out
+
+    def test_gapped_sequence_is_flagged_with_ids(self, tmp_path, capsys):
+        write_session(tmp_path, "BENCH_1.json",
+                      make_session({"a.py::t": 0.5}))
+        write_session(tmp_path, "BENCH_2.json",
+                      make_session({"a.py::t": 0.5}))
+        write_session(tmp_path, "BENCH_5.json",
+                      make_session({"a.py::t": 0.5}))
+        assert main(["compare", "--root", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "auto-selected BENCH_2.json (base) vs BENCH_5.json" in out
+        assert "missing seq 3, 4" in out
+        assert "BENCH_1.json, BENCH_2.json, BENCH_5.json" in out
+
+    def test_contiguous_sequence_has_no_gap_note(self, tmp_path, capsys):
+        write_session(tmp_path, "BENCH_1.json",
+                      make_session({"a.py::t": 0.5}))
+        write_session(tmp_path, "BENCH_2.json",
+                      make_session({"a.py::t": 0.5}))
+        assert main(["compare", "--root", str(tmp_path)]) == 0
+        assert "missing seq" not in capsys.readouterr().out
+
+
+class TestDiffCli:
+    def test_bench_diff_attributes_injected_slowdown(self, tmp_path,
+                                                     capsys):
+        base = write_session(tmp_path, "BENCH_1.json",
+                             make_session({"a.py::slow": 0.5,
+                                           "a.py::ok": 1.0}))
+        new = write_session(tmp_path, "BENCH_2.json",
+                            make_session({"a.py::slow": 5.0,
+                                          "a.py::ok": 1.0}))
+        assert main(["diff", base, new]) == 1
+        out = capsys.readouterr().out
+        grown_rows = [l for l in out.splitlines() if l.startswith("grown")]
+        assert len(grown_rows) == 1
+        assert "a.py::slow" in grown_rows[0]
+        assert "10.00x" in grown_rows[0]
+
+    def test_trace_diff_via_jsonl_inputs(self, tmp_path, capsys):
+        base = write_trace(tmp_path)
+        assert main(["diff", base, base]) == 0
+        out = capsys.readouterr().out
+        assert "perfreport diff (trace)" in out
+        assert "critical path" in out
+
+    def test_hotspot_diff_and_folded_export(self, tmp_path, capsys):
+        artifact = write_hotspots(tmp_path)
+        folded = tmp_path / "diff.folded"
+        assert main(["diff", artifact, artifact,
+                     "--folded", str(folded)]) == 0
+        lines = folded.read_text(encoding="utf-8").splitlines()
+        assert lines
+        for line in lines:
+            stack, base_us, new_us = line.rsplit(" ", 2)
+            assert stack
+            assert base_us == new_us  # self-diff: both columns equal
+
+    def test_folded_refused_for_bench_sessions(self, tmp_path, capsys):
+        base = write_session(tmp_path, "BENCH_1.json",
+                             make_session({"a.py::t": 0.5}))
+        assert main(["diff", base, base,
+                     "--folded", str(tmp_path / "x.folded")]) == 2
+        assert "no stacks" in capsys.readouterr().err
+
+    def test_mixed_kinds_exit_two(self, tmp_path, capsys):
+        bench = write_session(tmp_path, "BENCH_1.json",
+                              make_session({"a.py::t": 0.5}))
+        trace = write_trace(tmp_path)
+        assert main(["diff", bench, trace]) == 2
+        assert "same kind" in capsys.readouterr().err
+
+    def test_auto_select_diffs_two_newest_sessions(self, tmp_path, capsys):
+        write_session(tmp_path, "BENCH_1.json",
+                      make_session({"a.py::t": 0.5}))
+        write_session(tmp_path, "BENCH_2.json",
+                      make_session({"a.py::t": 5.0}))
+        assert main(["diff", "--root", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "auto-selected BENCH_1.json (base) vs BENCH_2.json" in out
+
+    def test_json_format_parses(self, tmp_path, capsys):
+        base = write_session(tmp_path, "BENCH_1.json",
+                             make_session({"a.py::t": 0.5}))
+        assert main(["diff", base, base, "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["kind"] == "bench"
+        assert document["grown"] == 0
+
+    def test_unrecognized_input_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "mystery.json"
+        bad.write_text('{"what": "is this"}\n', encoding="utf-8")
+        assert main(["diff", str(bad), str(bad)]) == 2
+        assert "neither" in capsys.readouterr().err
+
+
+class TestTrendCli:
+    def fill_root(self, tmp_path, last_wall):
+        for seq, wall in enumerate((0.50, 0.52, 0.48), start=1):
+            write_session(tmp_path, f"BENCH_{seq}.json",
+                          make_session({"a.py::t": wall}))
+        write_session(tmp_path, "BENCH_4.json",
+                      make_session({"a.py::t": last_wall}))
+
+    def test_step_up_exits_one(self, tmp_path, capsys):
+        self.fill_root(tmp_path, last_wall=5.0)
+        assert main(["trend", "--root", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "step-up" in out
+        assert "1 regression(s)" in out
+
+    def test_flat_noisy_trajectory_exits_zero(self, tmp_path, capsys):
+        self.fill_root(tmp_path, last_wall=0.55)
+        assert main(["trend", "--root", str(tmp_path)]) == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_out_writes_the_json_artifact(self, tmp_path, capsys):
+        self.fill_root(tmp_path, last_wall=0.55)
+        report = tmp_path / "TREND_REPORT.json"
+        assert main(["trend", "--root", str(tmp_path),
+                     "--out", str(report)]) == 0
+        document = json.loads(report.read_text(encoding="utf-8"))
+        assert document["schema"] == "flattree.trend/1"
+        assert document["regressions"] == 0
+
+    def test_markdown_format(self, tmp_path, capsys):
+        self.fill_root(tmp_path, last_wall=5.0)
+        assert main(["trend", "--root", str(tmp_path),
+                     "--format", "markdown"]) == 1
+        out = capsys.readouterr().out
+        assert "## Performance trajectory" in out
+        assert "| **step-up** |" in out
+
+    def test_empty_root_exits_zero(self, tmp_path, capsys):
+        assert main(["trend", "--root", str(tmp_path)]) == 0
+        assert "0 session(s)" in capsys.readouterr().out

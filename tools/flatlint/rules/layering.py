@@ -69,7 +69,7 @@ ALLOWED: Dict[str, FrozenSet[str]] = {
 #: internal to the obs package.
 PUBLIC_OBS_SUBMODULES = frozenset({
     "sinks", "stats", "contract", "perf", "bench", "sampler", "progress",
-    "hotspots"})
+    "hotspots", "diffprof", "trend"})
 
 
 def _package_of(module: str) -> str:

@@ -50,6 +50,8 @@ _SINK_MODULES = frozenset({
     "repro.health.report",
     "repro.obs.bench",
     "repro.obs.hotspots",
+    "repro.obs.diffprof",
+    "repro.obs.trend",
 })
 
 #: Replay-critical classes recognised anywhere (fixtures included).
@@ -104,7 +106,8 @@ class DeterminismTaintRule(Rule):
     summary = ("wall clocks, unseeded random, entropy, id() and set "
                "iteration must not reach replay-critical sinks (ledger, "
                "health report, telemetry emit, BENCH_*/HOTSPOTS_* "
-               "writers); use the trace clock or sort/seed first")
+               "writers, diff/trend reports); use the trace clock or "
+               "sort/seed first")
 
     def finalize(self, project: Project) -> Iterator[Finding]:
         if not any(_in_repro(f.module) for f in project.files):

@@ -14,6 +14,17 @@
   artifact (``flattree hotspots``): stage wall/sample table, top
   functions by self time with their span context, and ``--folded``
   re-export of the captured stacks.
+* ``diff [BASE NEW]`` — attribute the wall-time delta between two
+  recordings per span path / function (``repro.obs.diffprof``); inputs
+  may be telemetry JSONL traces, ``HOTSPOTS_*.json`` campaigns, or
+  ``BENCH_*.json`` sessions (kinds auto-detected, must match).
+  ``--folded`` writes a differential folded-stack file (``stack
+  base_us new_us``) for red/blue flame graphs.  Exit 1 when any path
+  grew beyond tolerance.
+* ``trend`` — trajectory-aware regression analytics over every
+  numbered ``BENCH_*.json`` / ``HOTSPOTS_*.json`` session
+  (``repro.obs.trend``): MAD noise bands over the trailing window,
+  step-change detection on the newest point.  Exit 1 on a step-up.
 """
 
 from __future__ import annotations
@@ -42,6 +53,44 @@ except ImportError:  # standalone checkout (no installed package)
     from repro.errors import ReproError
     from repro.obs.perf import Profile
 
+from repro.obs import trend as trend_defaults  # noqa: E402 - after path fix
+
+
+def _session_seq(path: Path) -> int:
+    digits = "".join(ch for ch in path.stem if ch.isdigit())
+    return int(digits) if digits else 0
+
+
+def _auto_select(root: Path) -> Optional[tuple]:
+    """The two newest numbered sessions, with explicit id notices.
+
+    Prints which sessions exist (single / none) or were picked, and
+    flags sequence gaps — a gapped trajectory usually means a session
+    was deleted or recorded elsewhere, which changes what "newest two"
+    compares.  Returns ``None`` when fewer than two sessions exist.
+    """
+    from repro.obs import bench as bench_sessions
+
+    sessions = bench_sessions.bench_paths(root)
+    if len(sessions) < 2:
+        names = ", ".join(p.name for p in sessions) or "none"
+        print(f"perfreport: found {len(sessions)} BENCH_<seq>.json "
+              f"session(s) under {root} — need two to compare; "
+              f"record more with flattree bench (existing: {names})")
+        return None
+    base_path, new_path = sessions[-2], sessions[-1]
+    notice = (f"perfreport: auto-selected {base_path.name} (base) "
+              f"vs {new_path.name} (new)")
+    seqs = [_session_seq(p) for p in sessions]
+    missing = sorted(set(range(min(seqs), max(seqs) + 1)) - set(seqs))
+    if missing:
+        gaps = ", ".join(str(n) for n in missing)
+        notice += (f" — sequence has gaps (missing seq {gaps}) across "
+                   f"{len(sessions)} session(s): "
+                   + ", ".join(p.name for p in sessions))
+    print(notice)
+    return base_path, new_path
+
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     base_path, new_path = args.base, args.new
@@ -54,15 +103,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         from repro.obs import bench as bench_sessions
 
         root = Path(args.root) if args.root else bench_sessions.repo_root()
-        sessions = bench_sessions.bench_paths(root)
-        if len(sessions) < 2:
-            print(f"perfreport: found {len(sessions)} BENCH_<seq>.json "
-                  f"session(s) under {root} — need two to compare; "
-                  "record more with flattree bench")
+        selected = _auto_select(root)
+        if selected is None:
             return 0
-        base_path, new_path = str(sessions[-2]), str(sessions[-1])
-        print(f"perfreport: auto-selected {Path(base_path).name} (base) "
-              f"vs {Path(new_path).name} (new)")
+        base_path, new_path = str(selected[0]), str(selected[1])
     try:
         base = load_session(Path(base_path))
         new = load_session(Path(new_path))
@@ -156,6 +200,133 @@ def _cmd_hotspots(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_recording(path: str) -> Optional[tuple]:
+    """(kind, payload) for a diffable recording, else None after a message.
+
+    ``.jsonl`` files are telemetry traces; JSON documents are sniffed
+    by schema — ``flattree.hotspots/1`` campaigns vs bench sessions.
+    """
+    from repro.obs import bench as bench_sessions
+    from repro.obs import hotspots as hotspot_docs
+
+    if path.endswith(".jsonl"):
+        profile = _load_profile(path)
+        return ("trace", profile) if profile is not None else None
+    try:
+        raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"perfreport: {path}: {exc}", file=sys.stderr)
+        return None
+    if not isinstance(raw, dict):
+        print(f"perfreport: {path}: expected a JSON object", file=sys.stderr)
+        return None
+    try:
+        if raw.get("schema") == hotspot_docs.SCHEMA:
+            return "hotspots", hotspot_docs.load_document(Path(path))
+        if "benchmarks" in raw:
+            return "bench", bench_sessions.load_session(Path(path))
+    except ReproError as exc:
+        print(f"perfreport: {exc}", file=sys.stderr)
+        return None
+    print(f"perfreport: {path}: neither a BENCH_*.json session, a "
+          "HOTSPOTS_*.json campaign, nor a .jsonl telemetry trace",
+          file=sys.stderr)
+    return None
+
+
+def _diff_folded(kind: str, base: object, new: object) -> List[str]:
+    from repro.obs import diffprof
+
+    if kind == "trace":
+        return diffprof.subtract_folded(
+            diffprof.parse_folded(base.folded()),
+            diffprof.parse_folded(new.folded()))
+    base_folded = base.get("folded") or []
+    new_folded = new.get("folded") or []
+    return diffprof.subtract_folded(diffprof.parse_folded(base_folded),
+                                    diffprof.parse_folded(new_folded))
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.obs import bench as bench_sessions
+    from repro.obs import diffprof
+
+    base_path, new_path = args.base, args.new
+    if (base_path is None) != (new_path is None):
+        print("perfreport: pass both BASE and NEW, or neither "
+              "(auto-selects the two newest BENCH_<seq>.json)",
+              file=sys.stderr)
+        return 2
+    if base_path is None:
+        root = Path(args.root) if args.root else bench_sessions.repo_root()
+        selected = _auto_select(root)
+        if selected is None:
+            return 0
+        base_path, new_path = str(selected[0]), str(selected[1])
+    base_rec = _load_recording(base_path)
+    new_rec = _load_recording(new_path)
+    if base_rec is None or new_rec is None:
+        return 2
+    if base_rec[0] != new_rec[0]:
+        print(f"perfreport: cannot diff a {base_rec[0]} recording against "
+              f"a {new_rec[0]} recording — pass two of the same kind",
+              file=sys.stderr)
+        return 2
+    kind = base_rec[0]
+    differs = {
+        "trace": diffprof.diff_profiles,
+        "hotspots": diffprof.diff_hotspot_documents,
+        "bench": diffprof.diff_bench_sessions,
+    }
+    diff = differs[kind](
+        base_rec[1], new_rec[1],
+        tolerance=args.tolerance, min_runtime_s=args.min_runtime,
+        base_label=Path(base_path).name, new_label=Path(new_path).name)
+    if args.folded:
+        if kind == "bench":
+            print("perfreport: --folded needs stack recordings — bench "
+                  "sessions carry no stacks (diff traces or "
+                  "HOTSPOTS_*.json campaigns instead)", file=sys.stderr)
+            return 2
+        lines = _diff_folded(kind, base_rec[1], new_rec[1])
+        Path(args.folded).write_text(
+            "\n".join(lines) + ("\n" if lines else ""), encoding="utf-8")
+        print(f"perfreport: wrote {len(lines)} differential folded "
+              f"stacks to {args.folded} (render with flamegraph.pl "
+              "--negate for red/blue)")
+    if args.format == "json":
+        print(json.dumps(diffprof.render_json(diff), indent=1,
+                         sort_keys=True))
+    else:
+        print(diffprof.render_text(diff, top=args.top))
+    diffprof.emit_diff_event(diff)
+    return diff.exit_code
+
+
+def _cmd_trend(args: argparse.Namespace) -> int:
+    from repro.obs import bench as bench_sessions
+    from repro.obs import trend as trend_engine
+
+    root = Path(args.root) if args.root else bench_sessions.repo_root()
+    report = trend_engine.analyze_trajectory(
+        root, window=args.window, sigmas=args.sigmas,
+        rel_floor=args.rel_floor, min_runtime_s=args.min_runtime)
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(trend_engine.render_json(report), indent=1,
+                       sort_keys=True) + "\n", encoding="utf-8")
+        print(f"perfreport: wrote trend report to {args.out}")
+    if args.format == "json":
+        print(json.dumps(trend_engine.render_json(report), indent=1,
+                         sort_keys=True))
+    elif args.format == "markdown":
+        print(trend_engine.render_markdown(report, top=args.top))
+    else:
+        print(trend_engine.render_text(report, top=args.top))
+    trend_engine.emit_trend_event(report)
+    return report.exit_code
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="perfreport",
@@ -219,6 +390,68 @@ def main(argv: Optional[List[str]] = None) -> int:
                         "flamegraph.pl / speedscope")
     p.add_argument("--format", choices=("text", "json"), default="text")
     p.set_defaults(handler=_cmd_hotspots)
+
+    p = sub.add_parser(
+        "diff", help="attribute the wall-time delta between two "
+                     "recordings (traces, HOTSPOTS_*.json, or "
+                     "BENCH_*.json); with no paths, the two newest "
+                     "numbered bench sessions")
+    p.add_argument("base", nargs="?", default=None,
+                   help="baseline recording (default: second-newest "
+                        "repo-root BENCH_<seq>.json)")
+    p.add_argument("new", nargs="?", default=None,
+                   help="candidate recording (default: newest repo-root "
+                        "BENCH_<seq>.json)")
+    p.add_argument("--root", default=None, metavar="DIR",
+                   help="directory searched for BENCH_<seq>.json when "
+                        "auto-selecting (default: the repo root)")
+    p.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE, metavar="FRAC",
+        help="relative growth tolerated before a path counts as grown "
+             f"(default {DEFAULT_TOLERANCE})")
+    p.add_argument(
+        "--min-runtime", type=float, default=DEFAULT_MIN_RUNTIME_S,
+        metavar="SECONDS",
+        help="paths under this on both sides are below-floor, never "
+             f"judged (default {DEFAULT_MIN_RUNTIME_S})")
+    p.add_argument("--folded", default=None, metavar="PATH",
+                   help="write differential folded stacks (stack "
+                        "base_us new_us) for red/blue flame graphs; "
+                        "traces and hotspot campaigns only")
+    p.add_argument("--top", type=int, default=30,
+                   help="rows in the attribution table (default 30)")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.set_defaults(handler=_cmd_diff)
+
+    p = sub.add_parser(
+        "trend", help="trajectory-aware regression analytics over every "
+                      "numbered BENCH_*/HOTSPOTS_* session")
+    p.add_argument("--root", default=None, metavar="DIR",
+                   help="directory scanned for numbered sessions "
+                        "(default: the repo root)")
+    p.add_argument("--window", type=int, default=trend_defaults.DEFAULT_WINDOW,
+                   help="trailing sessions the noise model is fitted to "
+                        f"(default {trend_defaults.DEFAULT_WINDOW})")
+    p.add_argument("--sigmas", type=float, default=trend_defaults.DEFAULT_SIGMAS,
+                   help="band half-width in robust (MAD-derived) sigmas "
+                        f"(default {trend_defaults.DEFAULT_SIGMAS})")
+    p.add_argument(
+        "--rel-floor", type=float, default=trend_defaults.DEFAULT_REL_FLOOR,
+        metavar="FRAC",
+        help="relative band floor so near-constant series keep a "
+             f"tolerance (default {trend_defaults.DEFAULT_REL_FLOOR})")
+    p.add_argument(
+        "--min-runtime", type=float, default=trend_defaults.DEFAULT_MIN_RUNTIME_S,
+        metavar="SECONDS",
+        help="absolute band floor; sub-floor metrics are never judged "
+             f"(default {trend_defaults.DEFAULT_MIN_RUNTIME_S})")
+    p.add_argument("--top", type=int, default=40,
+                   help="rows in the metric table (default 40)")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="also write the JSON report here (CI artifact)")
+    p.add_argument("--format", choices=("text", "json", "markdown"),
+                   default="text")
+    p.set_defaults(handler=_cmd_trend)
 
     args = parser.parse_args(argv)
     if not hasattr(args, "handler"):
